@@ -1,0 +1,56 @@
+"""Ablation benches for the design knobs DESIGN.md §6 calls out.
+
+Extension experiments beyond the paper's Fig. 11/12: retry threshold,
+iteration-warp depth, the RF vertical/horizontal decision, and key-skew
+sensitivity.
+"""
+
+from conftest import emit
+
+from repro.harness.ablations import (
+    ablate_iteration_depth,
+    ablate_retry_threshold,
+    ablate_rf_decision,
+    ablate_skew,
+)
+
+
+def test_ablation_retry_threshold(benchmark, results_dir):
+    fig = benchmark.pedantic(ablate_retry_threshold, rounds=1, iterations=1)
+    emit(fig, results_dir)
+    # threshold 0 (always-protected traversal) must cost the most memory
+    assert fig.value("threshold=0", "mem_per_req") >= fig.value(
+        "threshold=3", "mem_per_req"
+    )
+
+
+def test_ablation_iteration_depth(benchmark, results_dir):
+    fig = benchmark.pedantic(ablate_iteration_depth, rounds=1, iterations=1)
+    emit(fig, results_dir)
+    # deeper iteration warps never increase traversal steps (more reuse)
+    assert fig.value("depth=8", "traversal_steps") <= fig.value(
+        "depth=1", "traversal_steps"
+    ) + 1e-9
+
+
+def test_ablation_rf_decision(benchmark, results_dir):
+    fig = benchmark.pedantic(ablate_rf_decision, rounds=1, iterations=1)
+    emit(fig, results_dir)
+    # on a sparse batch, blind horizontal walking traverses far more nodes
+    assert fig.value("always horizontal", "traversal_steps") > fig.value(
+        "RF decision on", "traversal_steps"
+    )
+    assert fig.value("RF decision on", "Mreq/s") >= fig.value(
+        "always horizontal", "Mreq/s"
+    )
+
+
+def test_ablation_skew(benchmark, results_dir):
+    fig = benchmark.pedantic(ablate_skew, rounds=1, iterations=1)
+    emit(fig, results_dir)
+    # skew amplifies the baselines' conflicts; combining absorbs the hot keys
+    assert fig.value("theta=0.99", "stm_conf") > fig.value("theta=0.0", "stm_conf")
+    assert fig.value("theta=0.99", "combined_frac") > fig.value(
+        "theta=0.0", "combined_frac"
+    )
+    assert fig.value("theta=0.99", "eirene_conf") < fig.value("theta=0.99", "stm_conf")

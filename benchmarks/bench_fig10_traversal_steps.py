@@ -1,0 +1,35 @@
+"""Fig. 10 — average traversal steps, normalized to STM GB-tree.
+
+Paper: STM and Lock coincide at the tree height; Eirene traverses ~67%
+fewer nodes at 2^23 thanks to horizontal traversal, with the gap narrowing
+as the tree grows (horizontal steps 1.5 @2^23 → 3.4 @2^26). The scaled
+trees here are shallower, so the absolute reduction is smaller; the
+assertions target the shape: baselines at 1.0, Eirene below, trend
+non-decreasing with tree size.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig10_traversal_steps
+
+SIZES = (13, 14, 15, 16)
+
+
+def test_fig10_traversal_steps(benchmark, base_config, results_dir):
+    fig = benchmark.pedantic(
+        lambda: fig10_traversal_steps(base_config, SIZES), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    cols = [f"2^{k}" for k in SIZES]
+    stm = np.array([fig.value("STM GB-tree", c) for c in cols])
+    lock = np.array([fig.value("Lock GB-tree", c) for c in cols])
+    eirene = np.array([fig.value("Eirene", c) for c in cols])
+
+    # baselines coincide (height-bound), Eirene strictly below
+    assert np.allclose(stm, 1.0)
+    assert np.allclose(lock, 1.0, atol=0.05)
+    assert np.all(eirene < 1.0)
+    # Eirene's relative steps grow (locality pays less on larger trees)
+    assert eirene[-1] >= eirene[0] - 0.05

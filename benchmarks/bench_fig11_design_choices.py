@@ -1,0 +1,32 @@
+"""Fig. 11 — design-choice ablation: STM baseline vs +Combining vs Eirene.
+
+Paper: combining-based concurrent control alone gives 6.26× over STM
+GB-tree; enabling locality-aware warp reorganization on top reaches 13.68×.
+The assertions check the staircase: STM < +Combining < Eirene at every
+tree size, with combining contributing the bulk of the win.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig11_design_choices
+
+SIZES = (13, 14, 15, 16)
+
+
+def test_fig11_design_choices(benchmark, base_config, results_dir):
+    cfg = base_config.with_(n_batches=2)
+    fig = benchmark.pedantic(
+        lambda: fig11_design_choices(cfg, SIZES), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    cols = [f"2^{k}" for k in SIZES]
+    stm = np.array([fig.value("STM GB-tree", c) for c in cols])
+    comb = np.array([fig.value("+ Combining", c) for c in cols])
+    full = np.array([fig.value("Eirene", c) for c in cols])
+
+    assert np.all(comb > stm)
+    assert np.all(full >= comb * 0.98)  # locality never hurts materially
+    assert (comb / stm).mean() > 2.5  # paper: 6.26x
+    assert (full / stm).mean() >= (comb / stm).mean()

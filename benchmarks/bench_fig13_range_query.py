@@ -1,0 +1,38 @@
+"""Fig. 13 — pure range-query throughput, lengths 4 and 8.
+
+Paper: Eirene reaches 1181 Mreq/s (length 4) and 1034 Mreq/s (length 8)
+against Lock GB-tree's 235 / 175 — a 5.94× overall speedup — and longer
+ranges are slower for every system. Assertions: Eirene wins at both
+lengths and every size; length 8 ≤ length 4 per system.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.harness import fig13_range_query
+
+SIZES = (13, 14, 15, 16)
+
+
+def test_fig13_range_query(benchmark, base_config, results_dir):
+    cfg = base_config.with_(n_batches=2)
+    fig = benchmark.pedantic(
+        lambda: fig13_range_query(cfg, SIZES), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    cols4 = [f"len4@2^{k}" for k in SIZES]
+    cols8 = [f"len8@2^{k}" for k in SIZES]
+    for cols in (cols4, cols8):
+        eirene = np.array([fig.value("Eirene", c) for c in cols])
+        lock = np.array([fig.value("Lock GB-tree", c) for c in cols])
+        stm = np.array([fig.value("STM GB-tree", c) for c in cols])
+        assert np.all(eirene > lock)
+        assert np.all(eirene > stm)
+    # longer ranges cost more
+    e4 = np.array([fig.value("Eirene", c) for c in cols4])
+    e8 = np.array([fig.value("Eirene", c) for c in cols8])
+    assert e8.mean() <= e4.mean() * 1.05
+    # overall factor vs Lock (paper: 5.94x at A100 scale)
+    lock4 = np.array([fig.value("Lock GB-tree", c) for c in cols4])
+    assert (e4 / lock4).mean() > 1.5

@@ -1,0 +1,36 @@
+"""Micro-benchmarks: one vector-engine batch through each system.
+
+Times the reproduction's own wall-clock per batch (not the simulated device
+time) — useful for sizing larger sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro import DeviceConfig, TreeConfig, YcsbWorkload, build_key_pool, make_system
+
+SYSTEMS = ["nocc", "stm", "lock", "eirene"]
+
+
+@pytest.fixture(params=SYSTEMS)
+def system_and_batches(request):
+    rng = np.random.default_rng(3)
+    keys, values = build_key_pool(2**13, rng)
+    sys_ = make_system(
+        request.param, keys, values,
+        tree_config=TreeConfig(fanout=32, arena_headroom=4.0),
+        device=DeviceConfig(num_sms=8),
+    )
+    wl = YcsbWorkload(pool=keys)
+    batches = [wl.generate(2**12, rng) for _ in range(64)]
+    return sys_, iter(batches)
+
+
+def test_process_batch_vector(benchmark, system_and_batches):
+    sys_, batches = system_and_batches
+
+    def run():
+        return sys_.process_batch(next(batches), engine="vector")
+
+    out = benchmark.pedantic(run, rounds=8, iterations=1)
+    assert out.n_requests == 2**12

@@ -1,0 +1,43 @@
+"""Shared benchmark infrastructure.
+
+Every ``bench_figXX`` module reproduces one figure of the paper's §8: it
+runs the corresponding harness function once under ``benchmark.pedantic``
+(so ``pytest benchmarks/ --benchmark-only`` collects it), prints the
+paper-vs-measured table, saves it under ``benchmarks/results/``, and
+asserts the figure's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness import ExperimentConfig, FigureResult
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def base_config() -> ExperimentConfig:
+    """Scaled default experiment (see DESIGN.md scaling table)."""
+    return ExperimentConfig(
+        tree_size=2**14,
+        batch_size=2**13,
+        n_batches=2,
+        fanout=32,
+        num_sms=8,
+    )
+
+
+def emit(fig: FigureResult, results_dir: pathlib.Path) -> None:
+    text = fig.render()
+    print("\n" + text)
+    name = fig.figure.lower().replace(".", "").replace(" ", "").replace("§", "sec")
+    (results_dir / f"{name}.txt").write_text(text + "\n")

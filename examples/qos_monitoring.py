@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""QoS scenario: response-time stability under a skew shift.
+
+A latency-sensitive service cares about the *variance* of response time,
+not just the mean (§8.2). This example drives Eirene and the baselines on
+the SIMT engine (measured per-request service), first with uniform keys,
+then with a hot-key (zipfian) phase — the regime where same-key conflicts
+explode for the baselines while combining simply merges the hot keys away.
+
+Run:  python examples/qos_monitoring.py
+"""
+
+import numpy as np
+
+from repro import (
+    DeviceConfig,
+    TreeConfig,
+    YcsbWorkload,
+    build_key_pool,
+    make_system,
+)
+from repro.workloads import YcsbMix
+
+TREE_SIZE = 2**12
+BATCH = 2**11
+N_BATCHES = 4
+MIX = YcsbMix(query=0.8, update=0.2)  # heavier updates stress conflicts
+
+
+def run_phase(distribution: str) -> None:
+    print(f"\n=== {distribution} keys, 80/20 query/update, SIMT engine ===")
+    print(f"{'system':<32}{'avg ns':>10}{'QoS var %':>11}{'conf/req':>10}")
+    for name in ("stm", "lock", "eirene"):
+        rng = np.random.default_rng(17)
+        keys, values = build_key_pool(TREE_SIZE, rng)
+        sys_ = make_system(
+            name, keys, values,
+            tree_config=TreeConfig(fanout=32, arena_headroom=4.0),
+            device=DeviceConfig(num_sms=8),
+        )
+        wl = YcsbWorkload(pool=keys, mix=MIX, distribution=distribution)
+        batch_avgs = []
+        conflicts = 0.0
+        requests = 0
+        for _ in range(N_BATCHES):
+            batch = wl.generate(BATCH, rng)
+            out = sys_.process_batch(batch, engine="simt")
+            batch_avgs.append(out.seconds / batch.n)
+            conflicts += out.conflicts
+            requests += batch.n
+        a = np.asarray(batch_avgs)
+        var = max((a.max() - a.mean()) / a.mean(), (a.mean() - a.min()) / a.mean())
+        print(
+            f"{sys_.name:<32}"
+            f"{a.mean() * 1e9:>10.2f}"
+            f"{var * 100:>11.2f}"
+            f"{conflicts / requests:>10.4f}"
+        )
+
+
+def main() -> None:
+    run_phase("uniform")
+    run_phase("zipfian")
+    print(
+        "\nExpected shape: under skew the baselines' conflicts/request jump "
+        "by an order of magnitude while Eirene's stay near zero — combining "
+        "eliminated the same-key collisions that cause retry-driven latency "
+        "jitter (paper §4.1, §8.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

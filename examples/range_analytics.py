@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Range-query analytics scenario (§4.1.2, Fig. 13).
+
+An analytics layer issues range scans concurrently with point updates.
+Naively combining point requests would hand ranges stale values (Fig. 4);
+Eirene's artificial-query mechanism patches each range with the state at
+its own timestamp. This example demonstrates the mechanism explicitly and
+then measures pure range-scan throughput at lengths 4 and 8.
+
+Run:  python examples/range_analytics.py
+"""
+
+import numpy as np
+
+from repro import (
+    DeviceConfig,
+    OpKind,
+    TreeConfig,
+    YcsbWorkload,
+    build_key_pool,
+    check_linearizable,
+    make_system,
+)
+from repro.lincheck import SequentialReference
+from repro.workloads import RANGE_4, RANGE_8, RequestBatch
+
+
+def demonstrate_artificial_queries() -> None:
+    """The paper's Fig. 5 scenario on a real tree."""
+    print("=== artificial queries keep ranges linearizable (Fig. 4/5) ===")
+    keys = np.arange(1, 10, dtype=np.int64)
+    values = keys * 10
+    eirene = make_system("eirene", keys, values, tree_config=TreeConfig(fanout=4))
+    ref = SequentialReference(keys, values)
+
+    batch = RequestBatch.from_ops(
+        [
+            (OpKind.UPDATE, 4, 401),  # T0: U(4,b)
+            (OpKind.RANGE, 3, 6),     # T1: R(3,6) — must see 401, not 402
+            (OpKind.QUERY, 3),        # T2
+            (OpKind.UPDATE, 4, 402),  # T3: U(4,e) — combined over T0
+            (OpKind.DELETE, 5),       # T4 — after the range: must NOT affect it
+            (OpKind.UPDATE, 6, 601),  # T5
+        ]
+    )
+    out = eirene.process_batch(batch)
+    rk, rv = out.results.range_result(1)
+    print(f"range(3,6) at T1 sees: {dict(zip(rk.tolist(), rv.tolist()))}")
+    assert dict(zip(rk.tolist(), rv.tolist())) == {3: 30, 4: 401, 5: 50, 6: 60}
+    report = check_linearizable(batch, out.results, ref.execute(batch))
+    print(f"linearizable: {report.ok}\n")
+
+
+def range_throughput() -> None:
+    print("=== pure range-query throughput (Fig. 13 shape) ===")
+    print(f"{'system':<32}{'len4 Mreq/s':>13}{'len8 Mreq/s':>13}")
+    for name in ("stm", "lock", "eirene"):
+        row = [name]
+        mops = []
+        for mix in (RANGE_4, RANGE_8):
+            rng = np.random.default_rng(5)
+            keys, values = build_key_pool(2**14, rng)
+            sys_ = make_system(
+                name, keys, values,
+                tree_config=TreeConfig(fanout=32),
+                device=DeviceConfig(num_sms=8),
+            )
+            wl = YcsbWorkload(pool=keys, mix=mix)
+            out = sys_.process_batch(wl.generate(2**12, rng))
+            mops.append(out.throughput.mops)
+            row = sys_.name
+        print(f"{row:<32}{mops[0]:>13.1f}{mops[1]:>13.1f}")
+    print(
+        "\nExpected shape: Eirene leads at both lengths (paper: 5.94x vs "
+        "Lock GB-tree overall); length 8 is slower than length 4 everywhere."
+    )
+
+
+def main() -> None:
+    demonstrate_artificial_queries()
+    range_throughput()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Shared scalar types, sentinels and enums.
+
+All request batches and tree nodes use 64-bit integer keys and values. A
+handful of sentinel values are reserved; workload generators never emit them
+as ordinary data.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+#: dtype used for keys, values and timestamps throughout the library.
+WORD_DTYPE = np.int64
+
+#: Sentinel returned for "no value" (key absent, or deleted). Matches the
+#: paper's ``null`` result for a query that follows a delete.
+NULL_VALUE: int = -1
+
+#: Sentinel key stored in unused node slots; sorts after every real key.
+EMPTY_KEY: int = np.iinfo(np.int64).max
+
+#: Sentinel node id meaning "no node" (e.g. the last leaf's next pointer).
+NO_NODE: int = -1
+
+#: Largest key a workload may generate (strictly below EMPTY_KEY).
+MAX_KEY: int = EMPTY_KEY - 1
+
+
+class OpKind(enum.IntEnum):
+    """Request types.
+
+    The paper groups ``UPDATE``, ``INSERT`` and ``DELETE`` into the *update
+    class* (they modify the tree) and ``QUERY``/``RANGE`` into the *query
+    class*.
+    """
+
+    QUERY = 0
+    UPDATE = 1
+    INSERT = 2
+    DELETE = 3
+    RANGE = 4
+
+    @property
+    def is_update_class(self) -> bool:
+        return self in (OpKind.UPDATE, OpKind.INSERT, OpKind.DELETE)
+
+    @property
+    def is_query_class(self) -> bool:
+        return self in (OpKind.QUERY, OpKind.RANGE)
+
+
+#: numpy dtype used to store OpKind values compactly in request batches.
+KIND_DTYPE = np.int8
+
+UPDATE_CLASS_KINDS = (OpKind.UPDATE, OpKind.INSERT, OpKind.DELETE)
+QUERY_CLASS_KINDS = (OpKind.QUERY, OpKind.RANGE)
+
+
+def is_update_kind_array(kinds: np.ndarray) -> np.ndarray:
+    """Vectorized ``OpKind.is_update_class`` over an int8 kind array."""
+    return (kinds >= OpKind.UPDATE) & (kinds <= OpKind.DELETE)
+
+
+def is_query_kind_array(kinds: np.ndarray) -> np.ndarray:
+    """Vectorized ``OpKind.is_query_class`` over an int8 kind array."""
+    return (kinds == OpKind.QUERY) | (kinds == OpKind.RANGE)

@@ -1,0 +1,33 @@
+"""Baseline systems: no-CC reference, STM GB-tree, Lock GB-tree."""
+
+from .base import BatchOutcome, System, merge_outcomes
+from .lock_gbtree import LockGBTree
+from .model import (
+    COALESCE_SCATTERED,
+    COALESCE_SORTED,
+    OVERLAP,
+    EventTotals,
+    InstCost,
+    InstModel,
+    phase_seconds,
+    writer_collision_groups,
+)
+from .nocc import NoCCGBTree
+from .stm_gbtree import StmGBTree
+
+__all__ = [
+    "BatchOutcome",
+    "COALESCE_SCATTERED",
+    "COALESCE_SORTED",
+    "EventTotals",
+    "InstCost",
+    "InstModel",
+    "LockGBTree",
+    "NoCCGBTree",
+    "OVERLAP",
+    "StmGBTree",
+    "System",
+    "merge_outcomes",
+    "phase_seconds",
+    "writer_collision_groups",
+]

@@ -1,0 +1,272 @@
+"""Lock GB-tree baseline (Awad et al., PPoPP'19).
+
+Fine-grained per-node latches: writers descend with latch crabbing (hold
+the parent until the child is latched and non-full, so split targets are
+always held), readers traverse lock-free but validate each node against its
+latch word and version, restarting from the root on interference. Memory
+overhead per request is small (one latch word per node visited — the
+paper's 1.12×); control overhead is large (spin loops and validation
+branches — the paper's 2.85×).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import OpKind, is_update_kind_array
+from ..btree import batch_find_leaf
+from ..btree.device_ops import (
+    d_find_leaf_coupling,
+    d_find_leaf_locked_query,
+    d_leaf_covers,
+    d_leaf_delete_device,
+    d_leaf_upsert_device,
+    d_leaf_upsert_locked,
+    d_release_all,
+    d_search_leaf,
+)
+from ..btree.layout import OFF_COUNT, OFF_LOCK, OFF_NEXT, OFF_VERSION
+from ..btree.tree import BPlusTree
+from ..config import DeviceConfig
+from ..locks import LatchTable
+from ..simt import Branch, KernelLaunch, Load, Mark, PhaseTime
+from ..workloads.requests import BatchResults, RequestBatch
+from .base import BatchOutcome, System, simt_response_times
+from .model import OVERLAP, EventTotals, phase_seconds, writer_collision_groups
+
+#: expected latch-hold length in issue slots (drives expected spins in the
+#: vector model; the SIMT engine measures the real value).
+HOLD_SLOTS = 24.0
+
+
+class LockGBTree(System):
+    """Concurrent GPU B+tree with fine-grained node latches."""
+
+    name = "Lock GB-tree"
+
+    def __init__(self, tree: BPlusTree, device: DeviceConfig | None = None) -> None:
+        super().__init__(tree, device)
+        self.latches = LatchTable(tree.arena)
+
+    # ------------------------------------------------------------------ #
+    # vector engine
+    # ------------------------------------------------------------------ #
+    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
+        im = self.imodel
+        totals = EventTotals()
+        height = self.tree.height
+        n = batch.n
+
+        q_mask = batch.kinds == OpKind.QUERY
+        w_mask = is_update_kind_array(batch.kinds)
+        point = batch.kinds != OpKind.RANGE
+        point_idx = np.flatnonzero(point)
+        leaves = np.zeros(n, dtype=np.int64)
+        if point_idx.size:
+            leaves[point_idx], _ = batch_find_leaf(self.tree, batch.keys[point_idx])
+
+        w_idx = np.flatnonzero(w_mask)
+        _, w_rank = writer_collision_groups(leaves[w_idx])
+        writers_on_leaf = (
+            np.bincount(leaves[w_idx], minlength=self.tree.max_nodes)
+            if w_idx.size
+            else np.zeros(self.tree.max_nodes, dtype=np.int64)
+        )
+
+        # writers spin while earlier same-leaf writers hold the leaf latch
+        spins = np.zeros(n, dtype=np.float64)
+        spins[w_idx] = OVERLAP * w_rank * HOLD_SLOTS
+        # readers re-validate nodes a writer touched (restart from root)
+        q_idx = np.flatnonzero(q_mask)
+        reader_restarts = OVERLAP * 0.25 * writers_on_leaf[leaves[q_idx]]
+
+        base_q = height * im.node_visit_lock_validated + im.leaf_lookup_plain
+        base_w = height * im.node_visit_coupling + im.leaf_update_locked
+        nq, nw = int(q_idx.size), int(w_idx.size)
+        totals.add(base_q, count=nq)
+        totals.add(base_w, count=nw)
+        totals.add(im.lock_spin, count=float(spins.sum()))
+        totals.add(base_q, count=float(reader_restarts.sum()))
+
+        work = np.zeros(n, dtype=np.float64)
+        bq = base_q.mem + base_q.ctrl + base_q.alu
+        bw = base_w.mem + base_w.ctrl + base_w.alu
+        work[q_idx] = bq * (1 + reader_restarts)
+        work[w_idx] = bw + spins[w_idx] * 2
+
+        range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
+        if range_idx.size:
+            spans = self._range_spans(batch, range_idx)
+            totals.add(height * im.node_visit_lock_validated, count=int(range_idx.size))
+            totals.add(im.leaf_lookup_plain + im.lock_spin * 0.5, count=int(spans.sum()))
+            work[range_idx] = (
+                height * im.node_visit_lock_validated.mem + spans * im.leaf_lookup_plain.mem
+            ) * 2
+
+        splits_before = len(self.tree.split_events)
+        results = self._apply_in_timestamp_order(batch)
+        splits = len(self.tree.split_events) - splits_before
+        totals.add(im.split_smo * 0.6, count=splits)  # no ownership storm, latched
+
+        # a 'conflict' in the lock design is a failed latch CAS or a reader
+        # restart — what the paper's conflict counts compare across systems
+        totals.conflicts = float(spins.sum() + reader_restarts.sum())
+        seconds = phase_seconds(totals, self.device)
+        phase = PhaseTime(query_kernel=seconds)
+        resp = (seconds / n) * (work / max(work.mean(), 1e-12))
+        return self._outcome_from_totals(
+            batch, results, totals, phase, resp, float(height),
+            extras={"spins": spins},
+        )
+
+    def _range_spans(self, batch: RequestBatch, range_idx: np.ndarray) -> np.ndarray:
+        lo_leaves, _ = batch_find_leaf(self.tree, batch.keys[range_idx])
+        hi_leaves, _ = batch_find_leaf(self.tree, batch.range_ends[range_idx])
+        index_of = {leaf: i for i, leaf in enumerate(self.tree.leaf_ids())}
+        return np.array(
+            [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # SIMT engine
+    # ------------------------------------------------------------------ #
+    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
+        tree = self.tree
+        latches = self.latches
+        n = batch.n
+        results = BatchResults.empty(n)
+        ranges: dict[int, tuple[list[int], list[int]]] = {}
+        steps_taken = np.zeros(n, dtype=np.int64)
+        lock_before = latches.stats.snapshot()
+
+        def make_program(i: int):
+            kind = int(batch.kinds[i])
+            key = int(batch.keys[i])
+            value = int(batch.values[i])
+            hi = int(batch.range_ends[i])
+
+            def program():
+                if kind == OpKind.QUERY:
+                    leaf, steps = yield from d_find_leaf_locked_query(tree, latches, key)
+                    steps_taken[i] = steps
+                    val = yield from d_search_leaf(tree, leaf, key)
+                    results.values[i] = val
+                elif kind in (OpKind.UPDATE, OpKind.INSERT, OpKind.DELETE):
+                    old, steps = yield from _d_update_locked(
+                        tree, latches, kind, key, value, i
+                    )
+                    steps_taken[i] = steps
+                    results.values[i] = old
+                elif kind == OpKind.RANGE:
+                    leaf, steps = yield from d_find_leaf_locked_query(tree, latches, key)
+                    steps_taken[i] = steps
+                    ks, vs = yield from _d_range_scan_locked(tree, latches, leaf, key, hi)
+                    ranges[i] = (ks, vs)
+                yield Mark(i)
+
+            return program()
+
+        launch = KernelLaunch(self.device, tree.arena, n, rng=self._launch_rng(batch))
+        launch.add_programs([make_program(i) for i in range(n)])
+        counters = launch.run()
+        results.set_range_results(
+            {
+                i: (np.array(ks, dtype=np.int64), np.array(vs, dtype=np.int64))
+                for i, (ks, vs) in ranges.items()
+            }
+        )
+        lock_delta = latches.stats.delta_since(lock_before)
+
+        seconds = self.device.cycles_to_seconds(counters.cycles)
+        resp = simt_response_times(counters, seconds, n)
+        totals = EventTotals(
+            mem=counters.mem_inst,
+            ctrl=counters.control_inst,
+            alu=counters.alu_inst,
+            atomic=counters.atomic_inst,
+            transactions=counters.transactions,
+            conflicts=float(lock_delta.spins),
+        )
+        outcome = self._outcome_from_totals(
+            batch,
+            results,
+            totals,
+            PhaseTime(query_kernel=seconds),
+            resp,
+            float(steps_taken.mean()) if n else 0.0,
+            extras={"locks": lock_delta},
+        )
+        outcome.counters = counters
+        return outcome
+
+
+def _d_update_locked(tree: BPlusTree, latches: LatchTable, kind: int, key: int, value: int, owner: int):
+    """Writer path of the lock design: optimistic validated descent, latch
+    only the target leaf, mutate in place; fall back to full latch crabbing
+    only when a split is needed (the child-safety path splits then).
+
+    Returns (old value, traversal steps of the final successful attempt).
+    """
+    lay = tree.layout
+    while True:
+        leaf, steps = yield from d_find_leaf_locked_query(tree, latches, key)
+        yield from latches.d_acquire(lay.addr(leaf, OFF_LOCK), owner)
+        covers = yield from d_leaf_covers(tree, leaf, key)
+        yield Branch()
+        if not covers:
+            yield from latches.d_release(lay.addr(leaf, OFF_LOCK))
+            continue  # a split moved the key range: retry descent
+        if kind == OpKind.DELETE:
+            old = yield from d_leaf_delete_device(tree, leaf, key)
+            yield from latches.d_release(lay.addr(leaf, OFF_LOCK))
+            return old, steps
+        old, needs_split = yield from d_leaf_upsert_device(tree, leaf, key, value)
+        yield from latches.d_release(lay.addr(leaf, OFF_LOCK))
+        yield Branch()
+        if not needs_split:
+            return old, steps
+        # split path: latch-crabbing descent holds every unsafe ancestor
+        leaf2, steps2, held = yield from d_find_leaf_coupling(tree, latches, key, owner)
+        old = yield from d_leaf_upsert_locked(tree, latches, held, leaf2, key, value)
+        yield from d_release_all(tree, latches, held)
+        return old, steps + steps2
+
+
+def _d_range_scan_locked(tree: BPlusTree, latches: LatchTable, leaf: int, lo: int, hi: int):
+    """Leaf-chain scan with per-leaf latch/version validation (retry leaf)."""
+    lay = tree.layout
+    ks: list[int] = []
+    vs: list[int] = []
+    node = leaf
+    while True:
+        while True:  # validated read of one leaf
+            locked = yield from latches.d_is_locked(lay.addr(node, OFF_LOCK))
+            if locked:
+                continue
+            ver = yield Load(lay.addr(node, OFF_VERSION))
+            cnt = yield Load(lay.addr(node, OFF_COUNT))
+            yield Branch()
+            tmp_k: list[int] = []
+            tmp_v: list[int] = []
+            done = False
+            for slot in range(cnt):
+                k = yield Load(lay.key_addr(node, slot))
+                yield Branch()
+                if k > hi:
+                    done = True
+                    break
+                if k >= lo:
+                    v = yield Load(lay.payload_addr(node, slot))
+                    tmp_k.append(int(k))
+                    tmp_v.append(int(v))
+            nxt = yield Load(lay.addr(node, OFF_NEXT))
+            ver2 = yield Load(lay.addr(node, OFF_VERSION))
+            yield Branch()
+            if ver2 == ver:
+                ks.extend(tmp_k)
+                vs.extend(tmp_v)
+                break
+        if done or nxt == -1:
+            return ks, vs
+        node = nxt

@@ -1,0 +1,141 @@
+"""GB-tree without concurrency control — the "ideal" profiling reference.
+
+The first bar of the paper's Fig. 1: the same B+tree and kernels with all
+conflict detection/resolution removed. It is *not* a correct concurrent
+structure (the paper uses it only as the lower bound on per-request work);
+in the SIMT engine its mutations execute through the instantaneous host
+path, so the tree never corrupts, while the charged instruction stream is
+the unsynchronized one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import OpKind, is_update_kind_array
+from ..btree import batch_find_leaf
+from ..btree.device_ops import d_find_leaf, d_search_leaf, d_walk_leaves
+from ..simt import KernelLaunch, Mark, PhaseTime, Store
+from ..workloads.requests import BatchResults, RequestBatch
+from .base import BatchOutcome, System, simt_response_times
+from .model import EventTotals, phase_seconds
+
+
+class NoCCGBTree(System):
+    """B+tree kernels with no synchronization (profiling reference)."""
+
+    name = "GB-tree w/o concurrent control"
+
+    # ------------------------------------------------------------------ #
+    # vector engine
+    # ------------------------------------------------------------------ #
+    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
+        im = self.imodel
+        totals = EventTotals()
+        point = batch.kinds != OpKind.RANGE
+        q_mask = batch.kinds == OpKind.QUERY
+        w_mask = is_update_kind_array(batch.kinds)
+        n_point = int(point.sum())
+        height = self.tree.height
+
+        # every point request descends root→leaf and touches its leaf
+        totals.add(im.node_visit_plain, count=n_point * height)
+        totals.add(im.leaf_lookup_plain, count=int(q_mask.sum()))
+        totals.add(im.leaf_update_plain, count=int(w_mask.sum()))
+
+        # ranges: descent plus the spanned leaf chain
+        range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
+        span_total = 0
+        if range_idx.size:
+            lo_leaves, _ = batch_find_leaf(self.tree, batch.keys[range_idx])
+            hi_leaves, _ = batch_find_leaf(self.tree, batch.range_ends[range_idx])
+            index_of = {leaf: i for i, leaf in enumerate(self.tree.leaf_ids())}
+            spans = np.array(
+                [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)]
+            )
+            span_total = int(spans.sum())
+            totals.add(im.node_visit_plain, count=int(range_idx.size) * height)
+            totals.add(im.leaf_lookup_plain, count=span_total)
+
+        splits_before = len(self.tree.split_events)
+        results = self._apply_in_timestamp_order(batch)
+        splits = len(self.tree.split_events) - splits_before
+        totals.add(im.split_smo * 0.5, count=splits)  # plain split: no acquire storm
+
+        seconds = phase_seconds(totals, self.device)
+        phase = PhaseTime(query_kernel=seconds)
+        # no retries: per-request work is uniform, response times flat
+        resp = np.full(batch.n, seconds / batch.n)
+        steps = float(height)
+        return self._outcome_from_totals(batch, results, totals, phase, resp, steps)
+
+    # ------------------------------------------------------------------ #
+    # SIMT engine
+    # ------------------------------------------------------------------ #
+    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
+        tree = self.tree
+        n = batch.n
+        results = BatchResults.empty(n)
+        ranges: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        steps_taken = np.zeros(n, dtype=np.int64)
+
+        def make_program(i: int):
+            kind = int(batch.kinds[i])
+            key = int(batch.keys[i])
+
+            def program():
+                leaf, steps = yield from d_find_leaf(tree, key)
+                steps_taken[i] = steps
+                if kind == OpKind.QUERY:
+                    val = yield from d_search_leaf(tree, leaf, key)
+                    results.values[i] = val
+                elif kind in (OpKind.UPDATE, OpKind.INSERT):
+                    # unsynchronized mutation: host path + charged stores
+                    results.values[i] = tree.upsert(key, int(batch.values[i]))
+                    yield from _charge_leaf_write(tree, leaf)
+                elif kind == OpKind.DELETE:
+                    results.values[i] = tree.delete(key)
+                    yield from _charge_leaf_write(tree, leaf)
+                elif kind == OpKind.RANGE:
+                    hi = int(batch.range_ends[i])
+                    end_leaf, extra = yield from d_walk_leaves(tree, leaf, hi)
+                    steps_taken[i] += extra
+                    ranges[i] = tree.range_scan(key, hi)
+                yield Mark(i)
+
+            return program()
+
+        launch = KernelLaunch(self.device, tree.arena, n, rng=self._launch_rng(batch))
+        launch.add_programs([make_program(i) for i in range(n)])
+        counters = launch.run()
+        results.set_range_results(ranges)
+
+        seconds = self.device.cycles_to_seconds(counters.cycles)
+        resp = simt_response_times(counters, seconds, n)
+        totals = EventTotals(
+            mem=counters.mem_inst,
+            ctrl=counters.control_inst,
+            alu=counters.alu_inst,
+            atomic=counters.atomic_inst,
+            transactions=counters.transactions,
+        )
+        outcome = self._outcome_from_totals(
+            batch,
+            results,
+            totals,
+            PhaseTime(query_kernel=seconds),
+            resp,
+            float(steps_taken.mean()),
+        )
+        outcome.counters = counters
+        return outcome
+
+
+def _charge_leaf_write(tree, leaf: int):
+    """Charge the stores an in-leaf mutation performs (idempotent rewrites
+    of the leaf's current contents — same addresses, same coalescing)."""
+    lay = tree.layout
+    data = tree.arena.data
+    for slot in range(lay.fanout // 2 + 1):
+        addr = lay.key_addr(leaf, slot)
+        yield Store(addr, int(data[addr]))

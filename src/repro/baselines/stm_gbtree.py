@@ -1,0 +1,263 @@
+"""STM GB-tree baseline (Holey & Zhai, ICPP'14).
+
+Every request — query, update, range — executes as one eager transaction
+covering its whole tree traversal and leaf operation. This is the paper's
+high-overhead baseline: each transactional word read costs three loads
+(ownership, version, data), commits re-validate the read set, and any
+overlap with a writer aborts and restarts the whole request. Splits go
+through the structure-modification path of
+:func:`repro.btree.device_ops.d_smo_upsert`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import OpKind, is_update_kind_array
+from ..btree import batch_find_leaf
+from ..btree.device_ops import (
+    d_find_leaf_stm,
+    d_leaf_delete_stm,
+    d_leaf_upsert_stm,
+    d_search_leaf_stm,
+    d_smo_upsert,
+)
+from ..btree.layout import OFF_COUNT, OFF_NEXT
+from ..btree.tree import BPlusTree
+from ..config import DeviceConfig
+from ..errors import SimulationError, TransactionAborted
+from ..simt import Branch, KernelLaunch, Mark, PhaseTime
+from ..stm import DeviceStm, StmRegion
+from ..workloads.requests import BatchResults, RequestBatch
+from .base import BatchOutcome, System, simt_response_times
+from .model import OVERLAP, EventTotals, phase_seconds, writer_collision_groups
+
+#: fraction of a writer's window a (shorter) read-only tx is exposed to.
+READER_EXPOSURE = 0.5
+
+#: give up after this many aborts of one request (livelock guard).
+MAX_RETRIES = 10_000
+
+
+class StmGBTree(System):
+    """Concurrent GPU B+tree protected by whole-operation eager STM."""
+
+    name = "STM GB-tree"
+
+    def __init__(
+        self,
+        tree: BPlusTree,
+        stm_region: StmRegion,
+        smo_lock_addr: int,
+        device: DeviceConfig | None = None,
+    ) -> None:
+        super().__init__(tree, device)
+        self.stm = DeviceStm(tree.arena, stm_region)
+        self.smo_lock_addr = smo_lock_addr
+
+    # ------------------------------------------------------------------ #
+    # vector engine
+    # ------------------------------------------------------------------ #
+    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
+        im = self.imodel
+        dev = self.device
+        totals = EventTotals()
+        height = self.tree.height
+        n = batch.n
+
+        point = batch.kinds != OpKind.RANGE
+        q_mask = (batch.kinds == OpKind.QUERY)
+        w_mask = is_update_kind_array(batch.kinds)
+        point_idx = np.flatnonzero(point)
+        leaves = np.zeros(n, dtype=np.int64)
+        if point_idx.size:
+            leaves[point_idx], _ = batch_find_leaf(self.tree, batch.keys[point_idx])
+
+        # expected aborts: writers serialize per leaf; readers are exposed
+        # to every writer of their leaf for a fraction of its window
+        w_idx = np.flatnonzero(w_mask)
+        _, w_rank = writer_collision_groups(leaves[w_idx])
+        writers_on_leaf = np.bincount(
+            leaves[w_idx], minlength=self.tree.max_nodes
+        ) if w_idx.size else np.zeros(self.tree.max_nodes, dtype=np.int64)
+        retries = np.zeros(n, dtype=np.float64)
+        retries[w_idx] = OVERLAP * w_rank
+        q_idx = np.flatnonzero(q_mask)
+        retries[q_idx] = OVERLAP * READER_EXPOSURE * writers_on_leaf[leaves[q_idx]]
+
+        base_q = height * im.node_visit_stm + im.leaf_lookup_stm + im.tx_begin_commit_query
+        base_w = height * im.node_visit_stm + im.leaf_update_stm
+        work = np.zeros(n, dtype=np.float64)  # thread instructions per request
+
+        nq, nw = int(q_idx.size), int(w_idx.size)
+        totals.add(base_q, count=nq)
+        totals.add(base_w, count=nw)
+        # retried work: queries redo ~half a traversal, writers redo the
+        # traversal plus rollback
+        retry_q = 0.5 * base_q
+        retry_w = 0.7 * base_w + im.abort_rollback
+        totals.add(retry_q, count=float(retries[q_idx].sum()))
+        totals.add(retry_w, count=float(retries[w_idx].sum()))
+        work[q_idx] = base_q.mem + base_q.ctrl + base_q.alu + retries[q_idx] * (
+            retry_q.mem + retry_q.ctrl + retry_q.alu
+        )
+        work[w_idx] = base_w.mem + base_w.ctrl + base_w.alu + retries[w_idx] * (
+            retry_w.mem + retry_w.ctrl + retry_w.alu
+        )
+
+        # ranges: transactional scan over the spanned leaf chain
+        range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
+        if range_idx.size:
+            spans = self._range_spans(batch, range_idx)
+            base_r = height * im.node_visit_stm + im.tx_begin_commit_query
+            totals.add(base_r, count=int(range_idx.size))
+            totals.add(im.leaf_lookup_stm, count=int(spans.sum()))
+            r_retries = OVERLAP * READER_EXPOSURE * writers_on_leaf.mean() * spans
+            retries[range_idx] = r_retries
+            totals.add(retry_q, count=float(r_retries.sum()))
+            work[range_idx] = (
+                base_r.mem + base_r.ctrl + spans * im.leaf_lookup_stm.mem
+            ) * (1 + r_retries)
+
+        splits_before = len(self.tree.split_events)
+        results = self._apply_in_timestamp_order(batch)
+        splits = len(self.tree.split_events) - splits_before
+        totals.add(im.split_smo, count=splits)
+
+        totals.conflicts = float(retries.sum())
+        seconds = phase_seconds(totals, dev)
+        phase = PhaseTime(query_kernel=seconds)
+        resp = (seconds / n) * (work / max(work.mean(), 1e-12))
+        return self._outcome_from_totals(
+            batch, results, totals, phase, resp, float(height),
+            extras={"retries": retries},
+        )
+
+    def _range_spans(self, batch: RequestBatch, range_idx: np.ndarray) -> np.ndarray:
+        lo_leaves, _ = batch_find_leaf(self.tree, batch.keys[range_idx])
+        hi_leaves, _ = batch_find_leaf(self.tree, batch.range_ends[range_idx])
+        index_of = {leaf: i for i, leaf in enumerate(self.tree.leaf_ids())}
+        return np.array(
+            [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)],
+            dtype=np.int64,
+        )
+
+    # ------------------------------------------------------------------ #
+    # SIMT engine
+    # ------------------------------------------------------------------ #
+    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
+        tree = self.tree
+        stm = self.stm
+        n = batch.n
+        results = BatchResults.empty(n)
+        ranges: dict[int, tuple[list[int], list[int]]] = {}
+        steps_taken = np.zeros(n, dtype=np.int64)
+        retries = np.zeros(n, dtype=np.int64)
+        stm_before = stm.stats.snapshot()
+
+        def make_program(i: int):
+            kind = int(batch.kinds[i])
+            key = int(batch.keys[i])
+            value = int(batch.values[i])
+            hi = int(batch.range_ends[i])
+
+            def program():
+                while True:
+                    if retries[i] > MAX_RETRIES:
+                        raise SimulationError(f"request {i} livelocked")
+                    tx = stm.begin()
+                    try:
+                        leaf, steps = yield from d_find_leaf_stm(tree, stm, tx, key)
+                        steps_taken[i] = steps
+                        if kind == OpKind.QUERY:
+                            val = yield from d_search_leaf_stm(tree, stm, tx, leaf, key)
+                            yield from stm.d_commit(tx)
+                            results.values[i] = val
+                        elif kind in (OpKind.UPDATE, OpKind.INSERT):
+                            old, needs_split = yield from d_leaf_upsert_stm(
+                                tree, stm, tx, leaf, key, value
+                            )
+                            yield Branch()
+                            if needs_split:
+                                yield from stm.d_abort(tx, counted=False)
+                                old = yield from d_smo_upsert(
+                                    tree, stm, self.smo_lock_addr, i, key, value
+                                )
+                            else:
+                                yield from stm.d_commit(tx)
+                            results.values[i] = old
+                        elif kind == OpKind.DELETE:
+                            old = yield from d_leaf_delete_stm(tree, stm, tx, leaf, key)
+                            yield from stm.d_commit(tx)
+                            results.values[i] = old
+                        elif kind == OpKind.RANGE:
+                            ks, vs = yield from _d_range_scan_stm(tree, stm, tx, leaf, key, hi)
+                            yield from stm.d_commit(tx)
+                            ranges[i] = (ks, vs)
+                        yield Mark(i)
+                        return
+                    except TransactionAborted:
+                        retries[i] += 1
+                        continue
+
+            return program()
+
+        launch = KernelLaunch(self.device, tree.arena, n, rng=self._launch_rng(batch))
+        launch.add_programs([make_program(i) for i in range(n)])
+        counters = launch.run()
+        results.set_range_results(
+            {
+                i: (np.array(ks, dtype=np.int64), np.array(vs, dtype=np.int64))
+                for i, (ks, vs) in ranges.items()
+            }
+        )
+        stm_delta = stm.stats.delta_since(stm_before)
+
+        seconds = self.device.cycles_to_seconds(counters.cycles)
+        resp = simt_response_times(counters, seconds, n)
+        totals = EventTotals(
+            mem=counters.mem_inst,
+            ctrl=counters.control_inst,
+            alu=counters.alu_inst,
+            atomic=counters.atomic_inst,
+            transactions=counters.transactions,
+            conflicts=float(stm_delta.conflicts),
+        )
+        outcome = self._outcome_from_totals(
+            batch,
+            results,
+            totals,
+            PhaseTime(query_kernel=seconds),
+            resp,
+            float(steps_taken.mean()) if n else 0.0,
+            extras={"retries": retries, "stm": stm_delta},
+        )
+        outcome.counters = counters
+        return outcome
+
+
+def _d_range_scan_stm(tree: BPlusTree, stm: DeviceStm, tx, leaf: int, lo: int, hi: int):
+    """Transactional leaf-chain scan collecting pairs in [lo, hi]."""
+    lay = tree.layout
+    ks: list[int] = []
+    vs: list[int] = []
+    node = leaf
+    while True:
+        cnt = yield from stm.d_read(tx, lay.addr(node, OFF_COUNT))
+        yield Branch()
+        done = False
+        for slot in range(cnt):
+            k = yield from stm.d_read(tx, lay.key_addr(node, slot))
+            yield Branch()
+            if k > hi:
+                done = True
+                break
+            if k >= lo:
+                v = yield from stm.d_read(tx, lay.payload_addr(node, slot))
+                ks.append(int(k))
+                vs.append(int(v))
+        nxt = yield from stm.d_read(tx, lay.addr(node, OFF_NEXT))
+        yield Branch()
+        if done or nxt == -1:
+            return ks, vs
+        node = nxt

@@ -1,0 +1,570 @@
+"""Device-plane B+tree operations (SIMT thread-program generators).
+
+Building blocks the baselines' and Eirene's kernels compose:
+
+* unprotected vertical traversal and leaf search (Eirene's query kernel,
+  the no-concurrency-control reference, optimistic first tries);
+* STM-protected traversal / search / leaf mutation (STM GB-tree, Eirene's
+  protected fallback and leaf region);
+* latch-based traversal with lock coupling (Lock GB-tree);
+* horizontal leaf-chain traversal with RF bookkeeping (§5 locality);
+* the structure-modification path (leaf split cascade): splits acquire STM
+  ownership of every word of every node the split plan touches, execute the
+  host split instantaneously, charge the equivalent counted stores, then
+  invalidate STM versions so every concurrent transaction that read stale
+  words aborts at validation — semantically identical to running the split's
+  stores transactionally, without torn intermediate states.
+
+All functions are generators; compose with ``yield from`` and catch
+:class:`~repro.errors.TransactionAborted` at retry boundaries.
+"""
+
+from __future__ import annotations
+
+from .._types import EMPTY_KEY, NO_NODE, NULL_VALUE
+from ..errors import SimulationError, TransactionAborted
+from ..locks import LatchTable
+from ..simt.instructions import Alu, AtomicCAS, Branch, Load, Store
+from ..stm import FREE, DeviceStm, Tx
+from .layout import (
+    OFF_COUNT,
+    OFF_FENCE,
+    OFF_LEAF,
+    OFF_LOCK,
+    OFF_NEXT,
+    OFF_RF,
+    OFF_VERSION,
+)
+from .tree import BPlusTree
+
+#: safety valve for leaf-chain walks (a correct walk is bounded by the leaf
+#: count; hitting this indicates a broken chain, not contention).
+MAX_HORIZONTAL_STEPS = 1_000_000
+
+
+# --------------------------------------------------------------------- #
+# unprotected plane
+# --------------------------------------------------------------------- #
+def d_child_slot(tree: BPlusTree, node: int, key: int):
+    """Linear separator scan; returns the child slot to follow.
+
+    Unused key slots hold ``EMPTY_KEY`` (> every real key), so the scan
+    never needs the count word — one load + one branch per separator
+    examined, with early exit, exactly like the branch-free GPU layout.
+    """
+    lay = tree.layout
+    slot = 0
+    while slot < lay.fanout:
+        k = yield Load(lay.key_addr(node, slot))
+        yield Branch()
+        if key < k:
+            break
+        slot += 1
+    return slot
+
+
+def d_find_leaf(tree: BPlusTree, key: int):
+    """Vertical root-to-leaf traversal; returns (leaf id, nodes visited)."""
+    lay = tree.layout
+    node = tree.root
+    steps = 1
+    while True:
+        is_leaf = yield Load(lay.addr(node, OFF_LEAF))
+        yield Branch()
+        if is_leaf:
+            return node, steps
+        slot = yield from d_child_slot(tree, node, key)
+        node = yield Load(lay.payload_addr(node, slot))
+        steps += 1
+
+
+def d_search_leaf(tree: BPlusTree, leaf: int, key: int):
+    """Scan a leaf for ``key``; returns its value or ``NULL_VALUE``."""
+    lay = tree.layout
+    for slot in range(lay.fanout):
+        k = yield Load(lay.key_addr(leaf, slot))
+        yield Branch()
+        if k == key:
+            val = yield Load(lay.payload_addr(leaf, slot))
+            return val
+        if k > key:
+            return NULL_VALUE
+    return NULL_VALUE
+
+
+def d_leaf_covers(tree: BPlusTree, leaf: int, key: int):
+    """Does ``leaf`` still cover ``key``? (§4.2 ``key in range(leaf)``).
+
+    True iff the leaf's first key is <= key (or the leaf is leftmost for
+    this key) and the right sibling's first key (if any) is > key.
+    """
+    lay = tree.layout
+    fence = yield Load(lay.addr(leaf, OFF_FENCE))
+    yield Branch()
+    if key < fence:
+        return False  # the reference points right of the key's range
+    nxt = yield Load(lay.addr(leaf, OFF_NEXT))
+    yield Branch()
+    if nxt != NO_NODE:
+        nxt_fence = yield Load(lay.addr(nxt, OFF_FENCE))
+        yield Branch()
+        if nxt_fence <= key:
+            # a split moved this key's range to the right sibling
+            return False
+    return True
+
+
+def d_walk_leaves(tree: BPlusTree, start_leaf: int, key: int):
+    """Horizontal traversal (§5): follow the leaf chain from ``start_leaf``
+    until reaching the leaf whose fence range covers ``key``.
+    Returns (leaf, steps)."""
+    lay = tree.layout
+    node = start_leaf
+    steps = 1  # inspecting the buffered leaf counts as a step
+    while True:
+        if steps > MAX_HORIZONTAL_STEPS:
+            raise SimulationError("leaf chain walk did not terminate")
+        nxt = yield Load(lay.addr(node, OFF_NEXT))
+        yield Branch()
+        if nxt == NO_NODE:
+            return node, steps
+        nxt_fence = yield Load(lay.addr(nxt, OFF_FENCE))
+        yield Branch()
+        if nxt_fence > key:
+            return node, steps
+        node = nxt
+        steps += 1
+
+
+# --------------------------------------------------------------------- #
+# STM-protected plane
+# --------------------------------------------------------------------- #
+def d_child_slot_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, node: int, key: int):
+    lay = tree.layout
+    slot = 0
+    while slot < lay.fanout:
+        k = yield from stm.d_read(tx, lay.key_addr(node, slot))
+        yield Branch()
+        if key < k:
+            break
+        slot += 1
+    return slot
+
+
+def d_find_leaf_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, key: int):
+    """STM-protected vertical traversal (STM GB-tree; Eirene past the retry
+    threshold). Every word goes through the transactional read protocol."""
+    lay = tree.layout
+    node = tree.root
+    steps = 1
+    while True:
+        is_leaf = yield from stm.d_read(tx, lay.addr(node, OFF_LEAF))
+        yield Branch()
+        if is_leaf:
+            return node, steps
+        slot = yield from d_child_slot_stm(tree, stm, tx, node, key)
+        node = yield from stm.d_read(tx, lay.payload_addr(node, slot))
+        steps += 1
+
+
+def d_search_leaf_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: int):
+    lay = tree.layout
+    for slot in range(lay.fanout):
+        k = yield from stm.d_read(tx, lay.key_addr(leaf, slot))
+        yield Branch()
+        if k == key:
+            val = yield from stm.d_read(tx, lay.payload_addr(leaf, slot))
+            return val
+        if k > key:
+            return NULL_VALUE
+    return NULL_VALUE
+
+
+def d_leaf_upsert_stm(
+    tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: int, value: int
+):
+    """Transactional in-place upsert into a non-full-or-hit leaf.
+
+    Serializes leaf writers by acquiring the leaf's count word first.
+    Raises :class:`NeedsSplit` (via return sentinel) when the leaf is full
+    and the key absent — the caller must abort and take the SMO path.
+    Returns (old value, needs_split flag).
+    """
+    lay = tree.layout
+    cnt_addr = lay.addr(leaf, OFF_COUNT)
+    cnt = yield from stm.d_read(tx, cnt_addr)
+    # acquire: owning the count word serializes all writers of this leaf
+    yield from stm.d_write(tx, cnt_addr, cnt)
+    pos = 0
+    while pos < cnt:
+        k = yield from stm.d_read(tx, lay.key_addr(leaf, pos))
+        yield Branch()
+        if k == key:
+            old = yield from stm.d_read(tx, lay.payload_addr(leaf, pos))
+            yield from stm.d_write(tx, lay.payload_addr(leaf, pos), value)
+            return old, False
+        if k > key:
+            break
+        pos += 1
+    yield Branch()
+    if cnt >= lay.fanout:
+        return NULL_VALUE, True  # full leaf, absent key: needs a split
+    # shift (cnt - pos) entries right, insert at pos
+    for i in range(cnt - 1, pos - 1, -1):
+        k = yield from stm.d_read(tx, lay.key_addr(leaf, i))
+        v = yield from stm.d_read(tx, lay.payload_addr(leaf, i))
+        yield from stm.d_write(tx, lay.key_addr(leaf, i + 1), k)
+        yield from stm.d_write(tx, lay.payload_addr(leaf, i + 1), v)
+    yield from stm.d_write(tx, lay.key_addr(leaf, pos), key)
+    yield from stm.d_write(tx, lay.payload_addr(leaf, pos), value)
+    yield from stm.d_write(tx, cnt_addr, cnt + 1)
+    return NULL_VALUE, False
+
+
+def d_leaf_delete_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: int):
+    """Transactional merge-free delete; returns the old value or NULL."""
+    lay = tree.layout
+    cnt_addr = lay.addr(leaf, OFF_COUNT)
+    cnt = yield from stm.d_read(tx, cnt_addr)
+    yield from stm.d_write(tx, cnt_addr, cnt)
+    pos = -1
+    old = NULL_VALUE
+    for slot in range(cnt):
+        k = yield from stm.d_read(tx, lay.key_addr(leaf, slot))
+        yield Branch()
+        if k == key:
+            pos = slot
+            old = yield from stm.d_read(tx, lay.payload_addr(leaf, slot))
+            break
+        if k > key:
+            return NULL_VALUE
+    yield Branch()
+    if pos < 0:
+        return NULL_VALUE
+    for i in range(pos, cnt - 1):
+        k = yield from stm.d_read(tx, lay.key_addr(leaf, i + 1))
+        v = yield from stm.d_read(tx, lay.payload_addr(leaf, i + 1))
+        yield from stm.d_write(tx, lay.key_addr(leaf, i), k)
+        yield from stm.d_write(tx, lay.payload_addr(leaf, i), v)
+    yield from stm.d_write(tx, lay.key_addr(leaf, cnt - 1), EMPTY_KEY)
+    yield from stm.d_write(tx, lay.payload_addr(leaf, cnt - 1), 0)
+    yield from stm.d_write(tx, cnt_addr, cnt - 1)
+    return old
+
+
+# --------------------------------------------------------------------- #
+# structure modification (split cascade)
+# --------------------------------------------------------------------- #
+def node_word_addrs(tree: BPlusTree, node: int) -> range:
+    base = tree.layout.node_base(node)
+    return range(base, base + tree.layout.node_words)
+
+
+def plan_upsert_nodes(tree: BPlusTree, key: int) -> list[int]:
+    """Host-plane, read-only: nodes the upsert of ``key`` may modify.
+
+    The leaf plus every ancestor that would split in cascade (a full node
+    propagates the split upward), plus the root when the cascade reaches it.
+    """
+    path = tree._descend_path(key)
+    nodes = [path[-1][0]]
+    lay = tree.layout
+    data = tree.arena.data
+    # leaf splits only if full; ancestors join the plan while full
+    if int(data[lay.addr(path[-1][0], OFF_COUNT)]) >= lay.fanout:
+        for node, _slot in reversed(path[:-1]):
+            nodes.append(node)
+            if int(data[lay.addr(node, OFF_COUNT)]) < lay.fanout:
+                break
+    return nodes
+
+
+def d_smo_upsert(
+    tree: BPlusTree,
+    stm: DeviceStm,
+    smo_lock_addr: int,
+    owner: int,
+    key: int,
+    value: int,
+):
+    """Upsert requiring a split: the structure-modification path.
+
+    Serializes against other SMOs via a device latch, acquires STM ownership
+    of every word of every node in the split plan (so no transaction can
+    read or write them mid-split), executes the host split instantaneously,
+    charges the equivalent stores, invalidates STM versions, releases.
+    Returns the old value (NULL_VALUE for a fresh insert).
+
+    Callers MUST have aborted their own transaction before entering:
+    spinning on the SMO latch while holding STM word ownership would
+    deadlock against the latch holder's ownership acquisition.
+    """
+    # acquire the SMO latch (one CAS per slot until ours)
+    while True:
+        got = yield AtomicCAS(smo_lock_addr, FREE, owner + 1)
+        yield Branch()
+        if got == FREE:
+            break
+    try:
+        region = stm.region
+        owned: list[int] = []
+
+        def acquire_node(node: int):
+            """Own every word of ``node``, spinning per word.
+
+            Holding already-acquired words while waiting is deadlock-free:
+            ordinary transactions never wait (they abort on any conflict),
+            and rival SMOs are excluded by the latch — so each word's owner
+            releases in bounded steps and our per-round CAS eventually wins.
+            """
+            for addr in node_word_addrs(tree, node):
+                while True:
+                    got = yield AtomicCAS(region.owner_addr(addr), FREE, -(owner + 2))
+                    yield Branch()
+                    if got in (FREE, -(owner + 2)):
+                        break
+                if addr not in owned_set:
+                    owned.append(addr)
+                    owned_set.add(addr)
+
+        owned_set: set[int] = set()
+        # phase 1: freeze the leaf — once its words are ours, its count can
+        # no longer change, so the split plan computed next stays valid
+        leaf = tree.find_leaf(key)[0]
+        yield from acquire_node(leaf)
+        # phase 2: plan the cascade (ancestors only SMOs may touch, and we
+        # hold the only SMO latch) and own every planned node
+        for node in plan_upsert_nodes(tree, key):
+            if node != leaf:
+                yield from acquire_node(node)
+        # every word of the plan is ours: split + insert happen "now"
+        old = tree.upsert(key, value)
+        # charge the stores the split actually performed and invalidate;
+        # nodes freshly allocated by the split were never visible to any
+        # concurrent transaction, so only the planned words matter
+        touched = list(owned)
+        for addr in touched:
+            yield Store(addr, int(tree.arena.data[addr]))
+        stm.host_invalidate(touched)
+        for addr in touched:
+            yield Store(region.owner_addr(addr), FREE)
+        return old
+    finally:
+        yield Store(smo_lock_addr, FREE)
+
+
+# --------------------------------------------------------------------- #
+# raw device-plane leaf mutations (caller must hold the leaf latch)
+# --------------------------------------------------------------------- #
+def d_leaf_upsert_device(tree: BPlusTree, leaf: int, key: int, value: int):
+    """In-place upsert with real loads/stores; bumps the node version so
+    validated readers retry. Returns (old value, needs_split). Performs no
+    mutation when a split would be needed."""
+    lay = tree.layout
+    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    yield Branch()
+    pos = 0
+    while pos < cnt:
+        k = yield Load(lay.key_addr(leaf, pos))
+        yield Branch()
+        if k == key:
+            old = yield Load(lay.payload_addr(leaf, pos))
+            yield Store(lay.payload_addr(leaf, pos), value)
+            yield from _d_bump_version(tree, leaf)
+            return old, False
+        if k > key:
+            break
+        pos += 1
+    yield Branch()
+    if cnt >= lay.fanout:
+        return NULL_VALUE, True
+    for i in range(cnt - 1, pos - 1, -1):
+        k = yield Load(lay.key_addr(leaf, i))
+        v = yield Load(lay.payload_addr(leaf, i))
+        yield Store(lay.key_addr(leaf, i + 1), k)
+        yield Store(lay.payload_addr(leaf, i + 1), v)
+    yield Store(lay.key_addr(leaf, pos), key)
+    yield Store(lay.payload_addr(leaf, pos), value)
+    yield Store(lay.addr(leaf, OFF_COUNT), cnt + 1)
+    yield from _d_bump_version(tree, leaf)
+    return NULL_VALUE, False
+
+
+def d_leaf_delete_device(tree: BPlusTree, leaf: int, key: int):
+    """In-place merge-free delete; bumps the node version. Returns the old
+    value or NULL_VALUE."""
+    lay = tree.layout
+    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    yield Branch()
+    pos = -1
+    old = NULL_VALUE
+    for slot in range(cnt):
+        k = yield Load(lay.key_addr(leaf, slot))
+        yield Branch()
+        if k == key:
+            pos = slot
+            old = yield Load(lay.payload_addr(leaf, slot))
+            break
+        if k > key:
+            return NULL_VALUE
+    yield Branch()
+    if pos < 0:
+        return NULL_VALUE
+    for i in range(pos, cnt - 1):
+        k = yield Load(lay.key_addr(leaf, i + 1))
+        v = yield Load(lay.payload_addr(leaf, i + 1))
+        yield Store(lay.key_addr(leaf, i), k)
+        yield Store(lay.payload_addr(leaf, i), v)
+    yield Store(lay.key_addr(leaf, cnt - 1), EMPTY_KEY)
+    yield Store(lay.payload_addr(leaf, cnt - 1), 0)
+    yield Store(lay.addr(leaf, OFF_COUNT), cnt - 1)
+    yield from _d_bump_version(tree, leaf)
+    return old
+
+
+def _d_bump_version(tree: BPlusTree, node: int):
+    addr = tree.layout.addr(node, OFF_VERSION)
+    cur = yield Load(addr)
+    yield Store(addr, cur + 1)
+
+
+# --------------------------------------------------------------------- #
+# latch plane (Lock GB-tree)
+# --------------------------------------------------------------------- #
+def d_node_scan_validated(tree: BPlusTree, latches: LatchTable, node: int, key: int):
+    """Reader-side node visit for the lock design: wait for the latch,
+    read the version, scan, re-validate. Returns (child slot or -1-if-
+    retry-needed, is_leaf)."""
+    lay = tree.layout
+    lock_addr = lay.addr(node, OFF_LOCK)
+    while True:
+        locked = yield from latches.d_is_locked(lock_addr)
+        if not locked:
+            break
+    ver_before = yield Load(lay.addr(node, OFF_VERSION))
+    is_leaf = yield Load(lay.addr(node, OFF_LEAF))
+    yield Branch()
+    slot = yield from d_child_slot(tree, node, key)
+    ver_after = yield Load(lay.addr(node, OFF_VERSION))
+    locked_after = yield from latches.d_is_locked(lock_addr)
+    yield Branch()
+    if ver_after != ver_before or locked_after:
+        return -1, bool(is_leaf)
+    return slot, bool(is_leaf)
+
+
+def d_find_leaf_locked_query(tree: BPlusTree, latches: LatchTable, key: int):
+    """Lock-free reader descent with per-node validation; restarts from the
+    root when a node changed underneath it. Returns (leaf, steps)."""
+    lay = tree.layout
+    while True:
+        node = tree.root
+        steps = 1
+        ok = True
+        while True:
+            slot, is_leaf = yield from d_node_scan_validated(tree, latches, node, key)
+            yield Branch()
+            if slot < 0:
+                ok = False
+                break
+            if is_leaf:
+                return node, steps
+            node = yield Load(lay.payload_addr(node, slot))
+            steps += 1
+        if not ok:
+            continue
+
+
+def d_find_leaf_coupling(tree: BPlusTree, latches: LatchTable, key: int, owner: int):
+    """Writer descent with latch crabbing: hold the parent latch until the
+    child is latched and known safe (non-full). Returns (leaf, steps,
+    held) where ``held`` is the list of latched node ids (leaf last)."""
+    lay = tree.layout
+    held: list[int] = []
+    node = tree.root
+    steps = 0
+    while True:
+        yield from latches.d_acquire(lay.addr(node, OFF_LOCK), owner)
+        held.append(node)
+        steps += 1
+        cnt = yield Load(lay.addr(node, OFF_COUNT))
+        yield Branch()
+        if cnt < lay.fanout and len(held) > 1:
+            # child is safe: release every ancestor latch
+            for anc in held[:-1]:
+                yield from latches.d_release(lay.addr(anc, OFF_LOCK))
+            held = held[-1:]
+        is_leaf = yield Load(lay.addr(node, OFF_LEAF))
+        yield Branch()
+        if is_leaf:
+            return node, steps, held
+        slot = yield from d_child_slot(tree, node, key)
+        node = yield Load(lay.payload_addr(node, slot))
+
+
+def d_release_all(tree: BPlusTree, latches: LatchTable, held: list[int]):
+    lay = tree.layout
+    for node in held:
+        yield from latches.d_release(lay.addr(node, OFF_LOCK))
+
+
+def d_leaf_upsert_locked(
+    tree: BPlusTree, latches: LatchTable, held: list[int], leaf: int, key: int, value: int
+):
+    """Upsert under latches (crabbing guarantees every split target is
+    held). Mutation executes host-side instantaneously; the node version
+    bump makes concurrent validated readers retry; the counted stores are
+    charged here. Returns the old value."""
+    lay = tree.layout
+    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    yield Branch()
+    # scan for hit (update-in-place fast path)
+    for slot in range(cnt):
+        k = yield Load(lay.key_addr(leaf, slot))
+        yield Branch()
+        if k == key:
+            old = yield Load(lay.payload_addr(leaf, slot))
+            yield Store(lay.payload_addr(leaf, slot), value)
+            return old
+        if k > key:
+            break
+    will_split = cnt >= lay.fanout
+    old = tree.upsert(key, value)
+    # charge the insert's data movement: shifted entries + the new slot
+    moved = min(cnt + 1, lay.fanout)
+    for i in range(moved):
+        yield Store(lay.key_addr(leaf, i), int(tree.arena.data[lay.key_addr(leaf, i)]))
+    if will_split:
+        # bump versions so validated readers of every held node retry
+        for node in held:
+            yield Store(
+                lay.addr(node, OFF_VERSION),
+                int(tree.arena.data[lay.addr(node, OFF_VERSION)]),
+            )
+    yield Alu()
+    return old
+
+
+def d_leaf_delete_locked(
+    tree: BPlusTree, latches: LatchTable, leaf: int, key: int
+):
+    """Merge-free delete under the leaf latch; returns the old value."""
+    lay = tree.layout
+    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    yield Branch()
+    found = False
+    for slot in range(cnt):
+        k = yield Load(lay.key_addr(leaf, slot))
+        yield Branch()
+        if k == key:
+            found = True
+            break
+        if k > key:
+            break
+    yield Branch()
+    if not found:
+        return NULL_VALUE
+    old = tree.delete(key)
+    for i in range(cnt):
+        yield Store(lay.key_addr(leaf, i), int(tree.arena.data[lay.key_addr(leaf, i)]))
+    return old

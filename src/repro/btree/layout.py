@@ -1,0 +1,85 @@
+"""Physical layout of B+tree nodes in the simulated global memory.
+
+A node is a fixed-size block of 64-bit words, segment-aligned so coalescing
+behaves like the paper's GPU layout:
+
+====  ==============================================================
+word  contents
+====  ==============================================================
+0     ``count`` — number of keys currently stored
+1     ``is_leaf`` — 1 for leaves, 0 for inner nodes
+2     ``version`` — bumped atomically on every split (leaf validation, §4.2)
+3     ``rf`` — range field (§5): min key of the leaf ``height + 1`` hops
+      ahead on the leaf chain; ``EMPTY_KEY`` when none
+4     ``next_leaf`` — node id of the right sibling leaf (``NO_NODE`` at end)
+5     ``lock`` — latch word (0 = free); used by the Lock GB-tree baseline
+6     ``fence`` — the leaf's lower fence key: the parent separator that
+      routes into this leaf (0 for the leftmost). Horizontal traversal and
+      the ``covers`` validation use fences, which stay exact even when
+      deletions empty a leaf (its *keys* can no longer witness its range)
+7..   ``keys[fanout]`` — unused slots hold ``EMPTY_KEY``
+...   payload: inner nodes store ``children[fanout + 1]`` node ids,
+      leaves store ``values[fanout]`` (the extra slot is unused)
+====  ==============================================================
+
+Inner-node semantics: ``keys[i]`` is the *separator* = smallest key reachable
+under ``children[i + 1]``; a lookup follows
+``children[searchsorted(keys, key, side="right")]``. Because empty key slots
+hold ``EMPTY_KEY`` (which sorts after every real key), a search may scan the
+full ``fanout`` width without consulting ``count`` — exactly the branch-free
+trick GPU B-trees use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+OFF_COUNT = 0
+OFF_LEAF = 1
+OFF_VERSION = 2
+OFF_RF = 3
+OFF_NEXT = 4
+OFF_LOCK = 5
+OFF_FENCE = 6
+OFF_KEYS = 7
+HEADER_WORDS = 7
+
+
+@dataclass(frozen=True)
+class NodeLayout:
+    """Address arithmetic for a node arena region."""
+
+    fanout: int
+    base: int = 0
+    words_per_segment: int = 16
+
+    @property
+    def payload_off(self) -> int:
+        return OFF_KEYS + self.fanout
+
+    @property
+    def node_words(self) -> int:
+        # header + keys + children/values (fanout + 1 payload slots)
+        return HEADER_WORDS + self.fanout + self.fanout + 1
+
+    @property
+    def stride(self) -> int:
+        """Node pitch in words, rounded up to a whole number of segments."""
+        seg = self.words_per_segment
+        return (self.node_words + seg - 1) // seg * seg
+
+    def node_base(self, node_id: int) -> int:
+        return self.base + node_id * self.stride
+
+    def addr(self, node_id: int, offset: int) -> int:
+        return self.base + node_id * self.stride + offset
+
+    def key_addr(self, node_id: int, slot: int) -> int:
+        return self.addr(node_id, OFF_KEYS + slot)
+
+    def payload_addr(self, node_id: int, slot: int) -> int:
+        return self.addr(node_id, self.payload_off + slot)
+
+    def arena_words(self, max_nodes: int) -> int:
+        """Total words needed for ``max_nodes`` nodes."""
+        return max_nodes * self.stride

@@ -1,0 +1,112 @@
+"""Scalar node accessors over the arena.
+
+These helpers go through the *counted* arena plane; they are the units the
+device-side programs (baselines and Eirene kernels) are built from. Host
+code that must not be charged (bulk build, the sequential reference) flips
+``arena.counting`` off or uses :class:`~repro.btree.tree.BPlusTree` host
+views instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import EMPTY_KEY
+from ..memory import MemoryArena
+from .layout import (
+    OFF_COUNT,
+    OFF_FENCE,
+    OFF_LEAF,
+    OFF_NEXT,
+    OFF_RF,
+    OFF_VERSION,
+    NodeLayout,
+)
+
+
+class NodeAccessor:
+    """Counted scalar access to one node arena."""
+
+    def __init__(self, arena: MemoryArena, layout: NodeLayout) -> None:
+        self.arena = arena
+        self.layout = layout
+
+    # -- header ---------------------------------------------------------
+    def count(self, node: int) -> int:
+        return self.arena.read(self.layout.addr(node, OFF_COUNT), "node_header")
+
+    def set_count(self, node: int, value: int) -> None:
+        self.arena.write(self.layout.addr(node, OFF_COUNT), value, "node_header")
+
+    def is_leaf(self, node: int) -> bool:
+        return bool(self.arena.read(self.layout.addr(node, OFF_LEAF), "node_header"))
+
+    def version(self, node: int) -> int:
+        return self.arena.read(self.layout.addr(node, OFF_VERSION), "version")
+
+    def bump_version(self, node: int) -> int:
+        """Atomically increment the split version; returns the new value."""
+        return self.arena.atomic_add(self.layout.addr(node, OFF_VERSION), 1) + 1
+
+    def rf(self, node: int) -> int:
+        return self.arena.read(self.layout.addr(node, OFF_RF), "rf")
+
+    def set_rf(self, node: int, value: int) -> None:
+        self.arena.write(self.layout.addr(node, OFF_RF), value, "rf")
+
+    def fence(self, node: int) -> int:
+        return self.arena.read(self.layout.addr(node, OFF_FENCE), "fence")
+
+    def set_fence(self, node: int, value: int) -> None:
+        self.arena.write(self.layout.addr(node, OFF_FENCE), value, "fence")
+
+    def next_leaf(self, node: int) -> int:
+        return self.arena.read(self.layout.addr(node, OFF_NEXT), "leaf_chain")
+
+    def set_next_leaf(self, node: int, value: int) -> None:
+        self.arena.write(self.layout.addr(node, OFF_NEXT), value, "leaf_chain")
+
+    # -- keys / payload --------------------------------------------------
+    def key(self, node: int, slot: int) -> int:
+        return self.arena.read(self.layout.key_addr(node, slot), "keys")
+
+    def set_key(self, node: int, slot: int, value: int) -> None:
+        self.arena.write(self.layout.key_addr(node, slot), value, "keys")
+
+    def payload(self, node: int, slot: int) -> int:
+        return self.arena.read(self.layout.payload_addr(node, slot), "payload")
+
+    def set_payload(self, node: int, slot: int, value: int) -> None:
+        self.arena.write(self.layout.payload_addr(node, slot), value, "payload")
+
+    # -- warp-style vector reads ------------------------------------------
+    def keys_row(self, node: int) -> np.ndarray:
+        """Read all key slots of a node as one coalesced warp load."""
+        base = self.layout.key_addr(node, 0)
+        addrs = np.arange(base, base + self.layout.fanout, dtype=np.int64)
+        return self.arena.read_gather(addrs, "keys")
+
+    # -- host (uncounted) views -------------------------------------------
+    def host_keys(self, node: int) -> np.ndarray:
+        base = self.layout.key_addr(node, 0)
+        return self.arena.host_view(base, self.layout.fanout)
+
+    def host_payload(self, node: int) -> np.ndarray:
+        base = self.layout.payload_addr(node, 0)
+        return self.arena.host_view(base, self.layout.fanout + 1)
+
+    def host_min_key(self, node: int) -> int:
+        """Smallest key in the subtree rooted at ``node`` (uncounted)."""
+        while not self.arena.data[self.layout.addr(node, OFF_LEAF)]:
+            node = int(self.arena.data[self.layout.payload_addr(node, 0)])
+        return int(self.arena.data[self.layout.key_addr(node, 0)])
+
+    def clear_node(self, node: int, leaf: bool) -> None:
+        """Host-side initialization of a fresh node (uncounted)."""
+        view = self.arena.host_view(self.layout.node_base(node), self.layout.node_words)
+        view[:] = 0
+        view[OFF_LEAF] = 1 if leaf else 0
+        view[OFF_RF] = EMPTY_KEY
+        view[OFF_NEXT] = -1
+        kbase = self.layout.key_addr(node, 0) - self.layout.node_base(node)
+        view[kbase : kbase + self.layout.fanout] = EMPTY_KEY

@@ -1,0 +1,189 @@
+"""Vectorized batch traversal over the B+tree.
+
+The vector engine processes whole request batches level-synchronously: all
+requests descend one tree level per step as a single gather, mirroring how a
+GPU kernel's warps advance through the tree together. Every function returns
+both results and a :class:`TraversalEvents` record — the event counts the
+device cost model converts to instructions/transactions.
+
+Horizontal (leaf-chain) traversal implements the §5 locality path: starting
+from a buffered leaf, walk ``next_leaf`` pointers until the target key is
+covered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._types import EMPTY_KEY, NO_NODE, NULL_VALUE
+from .layout import OFF_COUNT, OFF_FENCE, OFF_KEYS, OFF_NEXT
+from .tree import BPlusTree
+
+
+@dataclass
+class TraversalEvents:
+    """Counts of tree-access events for one batch phase."""
+
+    requests: int = 0
+    node_visits: int = 0
+    key_words_read: int = 0
+    vertical_steps: int = 0
+    horizontal_steps: int = 0
+    leaf_lookups: int = 0
+    #: per-request traversal step counts (for Fig. 10)
+    steps_per_request: np.ndarray | None = None
+    extra: dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "TraversalEvents") -> None:
+        self.requests += other.requests
+        self.node_visits += other.node_visits
+        self.key_words_read += other.key_words_read
+        self.vertical_steps += other.vertical_steps
+        self.horizontal_steps += other.horizontal_steps
+        self.leaf_lookups += other.leaf_lookups
+        for k, v in other.extra.items():
+            self.extra[k] = self.extra.get(k, 0) + v
+        if other.steps_per_request is not None:
+            if self.steps_per_request is None:
+                self.steps_per_request = other.steps_per_request.copy()
+            else:
+                self.steps_per_request = np.concatenate(
+                    [self.steps_per_request, other.steps_per_request]
+                )
+
+    @property
+    def total_steps(self) -> int:
+        return self.vertical_steps + self.horizontal_steps
+
+
+def _key_rows(tree: BPlusTree, nodes: np.ndarray) -> np.ndarray:
+    """Gather the full key row of each node (shape: len(nodes) x fanout)."""
+    lay = tree.layout
+    base = lay.base + nodes * lay.stride
+    idx = base[:, None] + OFF_KEYS + np.arange(lay.fanout)
+    return tree.arena.data[idx]
+
+
+def batch_find_leaf(tree: BPlusTree, keys: np.ndarray) -> tuple[np.ndarray, TraversalEvents]:
+    """Vertical traversal for every key; returns leaf ids and event counts.
+
+    All leaves sit at depth ``tree.height``, so the descent is a fixed
+    number of level-synchronous gathers. Unused key slots hold ``EMPTY_KEY``,
+    letting the child-slot computation scan the full row branch-free —
+    the same trick the counted device programs use.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    n = int(keys.size)
+    ev = TraversalEvents(requests=n)
+    nodes = np.full(n, tree.root, dtype=np.int64)
+    if n == 0:
+        ev.steps_per_request = np.zeros(0, dtype=np.int64)
+        return nodes, ev
+    lay = tree.layout
+    data = tree.arena.data
+    for _ in range(tree.height - 1):
+        rows = _key_rows(tree, nodes)
+        slots = (rows <= keys[:, None]).sum(axis=1)
+        base = lay.base + nodes * lay.stride
+        nodes = data[base + lay.payload_off + slots]
+        ev.node_visits += n
+        ev.key_words_read += n * lay.fanout
+        ev.vertical_steps += n
+    # the leaf itself counts as a visited node (paper counts nodes traversed)
+    ev.node_visits += n
+    ev.vertical_steps += n
+    ev.steps_per_request = np.full(n, tree.height, dtype=np.int64)
+    return nodes, ev
+
+
+def batch_leaf_lookup(
+    tree: BPlusTree, leaves: np.ndarray, keys: np.ndarray
+) -> tuple[np.ndarray, TraversalEvents]:
+    """Find each key in its leaf; returns values (NULL_VALUE when absent)."""
+    keys = np.asarray(keys, dtype=np.int64)
+    leaves = np.asarray(leaves, dtype=np.int64)
+    n = int(keys.size)
+    ev = TraversalEvents(requests=n, leaf_lookups=n)
+    if n == 0:
+        return np.zeros(0, dtype=np.int64), ev
+    lay = tree.layout
+    rows = _key_rows(tree, leaves)
+    ev.key_words_read += n * lay.fanout
+    pos = (rows < keys[:, None]).sum(axis=1)
+    pos_c = np.minimum(pos, lay.fanout - 1)
+    hit = rows[np.arange(n), pos_c] == keys
+    base = lay.base + leaves * lay.stride
+    vals = np.where(hit, tree.arena.data[base + lay.payload_off + pos_c], NULL_VALUE)
+    return vals.astype(np.int64), ev
+
+
+def batch_horizontal_find_leaf(
+    tree: BPlusTree, start_leaves: np.ndarray, keys: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, TraversalEvents]:
+    """Leaf-chain walk from ``start_leaves`` toward each key (§5).
+
+    Returns (leaf ids, per-request steps, events). A request whose key lies
+    *before* its start leaf (possible only after concurrent splits) falls
+    back to vertical traversal; its steps then count as vertical.
+    """
+    keys = np.asarray(keys, dtype=np.int64)
+    leaves = np.asarray(start_leaves, dtype=np.int64).copy()
+    n = int(keys.size)
+    ev = TraversalEvents(requests=n)
+    steps = np.ones(n, dtype=np.int64)  # reading the buffered leaf is a step
+    if n == 0:
+        return leaves, steps, ev
+    lay = tree.layout
+    data = tree.arena.data
+
+    # fallback: key precedes the buffered leaf's fence (left of its range)
+    fences = data[lay.base + leaves * lay.stride + OFF_FENCE]
+    ev.key_words_read += n
+    fallback = keys < fences
+    if np.any(fallback):
+        fb_leaves, fb_ev = batch_find_leaf(tree, keys[fallback])
+        leaves[fallback] = fb_leaves
+        steps[fallback] = tree.height
+        ev.merge(fb_ev)
+
+    active = ~fallback
+    while np.any(active):
+        idx = np.flatnonzero(active)
+        cur = leaves[idx]
+        base = lay.base + cur * lay.stride
+        ev.key_words_read += int(idx.size)
+        ev.node_visits += int(idx.size)
+        nxt = data[base + OFF_NEXT]
+        has_next = nxt != NO_NODE
+        nxt_fence = np.where(
+            has_next, data[lay.base + np.maximum(nxt, 0) * lay.stride + OFF_FENCE], 0
+        )
+        advance = has_next & (nxt_fence <= keys[idx])
+        move = idx[advance]
+        leaves[move] = nxt[advance]
+        steps[move] += 1
+        ev.horizontal_steps += int(move.size)
+        active[idx[~advance]] = False
+    ev.steps_per_request = steps.copy()
+    return leaves, steps, ev
+
+
+def leaf_max_keys(tree: BPlusTree, leaves: np.ndarray) -> np.ndarray:
+    """Largest real key per leaf (-1 for an empty leaf). Host plane."""
+    lay = tree.layout
+    data = tree.arena.data
+    base = lay.base + np.asarray(leaves, dtype=np.int64) * lay.stride
+    counts = data[base + OFF_COUNT]
+    rows = _key_rows(tree, np.asarray(leaves, dtype=np.int64))
+    return np.where(counts > 0, rows[np.arange(len(leaves)), np.maximum(counts - 1, 0)], -1)
+
+
+def leaf_rf_values(tree: BPlusTree, leaves: np.ndarray) -> np.ndarray:
+    """RF field per leaf (host plane)."""
+    from .layout import OFF_RF
+
+    lay = tree.layout
+    base = lay.base + np.asarray(leaves, dtype=np.int64) * lay.stride
+    return tree.arena.data[base + OFF_RF]

@@ -1,0 +1,32 @@
+"""Eirene core: combining, range patches, kernels, locality, the system."""
+
+from .combining import CombinePlan, CombineWork, combine_point_requests, propagate_results
+from .eirene import EireneTree
+from .kernels import LaneSlot, UpdateResult, d_query, d_range_raw, d_update
+from .locality import (
+    IterationPlan,
+    LocalitySteps,
+    build_iteration_plan,
+    vector_locality_steps,
+)
+from .range_combining import RangePatchPlan, apply_range_patches, plan_range_patches
+
+__all__ = [
+    "CombinePlan",
+    "CombineWork",
+    "EireneTree",
+    "IterationPlan",
+    "LaneSlot",
+    "LocalitySteps",
+    "RangePatchPlan",
+    "UpdateResult",
+    "apply_range_patches",
+    "build_iteration_plan",
+    "combine_point_requests",
+    "d_query",
+    "d_range_raw",
+    "d_update",
+    "plan_range_patches",
+    "propagate_results",
+    "vector_locality_steps",
+]

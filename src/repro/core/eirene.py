@@ -1,0 +1,480 @@
+"""Eirene: the combining-based concurrency control framework (§4–§7).
+
+Pipeline per buffered batch (Algorithm 1):
+
+1. **COMBINING** — radix-sort point requests by (key, timestamp), combine
+   same-key runs, build the dependence structure
+   (:mod:`repro.core.combining`); range queries get artificial-query
+   patches (:mod:`repro.core.range_combining`).
+2. **PARTITION** — issued requests split into the query kernel (queries +
+   range queries, no synchronization) and the update kernel (optimistic
+   STM with leaf-version validation).
+3. **QUERY_KERNEL / UPDATE_KERNEL** — executed under locality-aware warp
+   reorganization (§5) when enabled: consecutive request groups share an
+   iteration warp and reuse each other's leaf positions.
+4. **RESULT_CAL** — unissued requests compute their results from the
+   dependence chain and the issued requests' retrieved old values; range
+   results are patched by their artificial queries.
+
+Because exactly one request per key is issued and every result follows the
+timestamp-order dependence, the outcome is linearizable (§6) — the test
+suite checks every batch against the sequential reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import NULL_VALUE, OpKind
+from ..btree import batch_find_leaf, batch_leaf_lookup
+from ..btree.tree import BPlusTree
+from ..config import DeviceConfig, EireneConfig, FULL_EIRENE
+from ..errors import ConfigError
+from ..simt import CostModel, KernelLaunch, Mark, PhaseTime
+from ..stm import DeviceStm, StmRegion
+from ..baselines.base import BatchOutcome, System, simt_response_times
+from ..baselines.model import (
+    COALESCE_SORTED,
+    OVERLAP,
+    EventTotals,
+    InstCost,
+    phase_seconds,
+    writer_collision_groups,
+)
+from ..workloads.requests import BatchResults, RequestBatch
+from .combining import CombinePlan, combine_point_requests, propagate_results
+from .kernels import LaneSlot, d_query, d_range_raw, d_update, make_iteration_lane_program, make_warp_shared
+from .locality import build_iteration_plan, vector_locality_steps
+from .range_combining import apply_range_patches, plan_range_patches
+
+
+class EireneTree(System):
+    """Combining-based concurrent GPU B+tree."""
+
+    name = "Eirene"
+
+    def __init__(
+        self,
+        tree: BPlusTree,
+        stm_region: StmRegion,
+        smo_lock_addr: int,
+        device: DeviceConfig | None = None,
+        config: EireneConfig = FULL_EIRENE,
+        cost: CostModel | None = None,
+    ) -> None:
+        super().__init__(tree, device)
+        if not config.enable_combining:
+            raise ConfigError(
+                "EireneTree always combines; for the no-combining baseline "
+                "use StmGBTree (the paper's Fig. 11 ablation does the same)"
+            )
+        self.config = config
+        self.stm = DeviceStm(tree.arena, stm_region)
+        self.smo_lock_addr = smo_lock_addr
+        self.cost = cost or CostModel(device=self.device)
+
+    # ------------------------------------------------------------------ #
+    # shared pipeline pieces
+    # ------------------------------------------------------------------ #
+    def _partition(self, plan: CombinePlan) -> tuple[np.ndarray, np.ndarray]:
+        """Indices (into runs) of query-issued vs update-issued runs."""
+        upd = plan.run_has_update
+        return np.flatnonzero(~upd), np.flatnonzero(upd)
+
+    def _host_phase_times(self, plan: CombinePlan) -> tuple[float, float, float]:
+        """Sort / combine / result-cal device time from primitive work."""
+        c = self.cost
+        n = plan.n_point
+        t_sort = c.seconds(c.cycles_per_sort_element_pass * plan.work.sort.passes * max(n, 1))
+        t_combine = c.seconds(c.cycles_per_scan_element * max(plan.work.scan_elements, n))
+        t_rescal = c.seconds(
+            c.cycles_per_result_cal * max(plan.n_combined, 1)
+            + c.cycles_per_scan_element * n
+        )
+        return t_sort, t_combine, t_rescal
+
+    def _raw_ranges(self, batch: RequestBatch) -> tuple[dict, int]:
+        """Pre-update range scans + total leaves spanned (host plane)."""
+        raw: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        span_total = 0
+        for i in np.flatnonzero(batch.kinds == OpKind.RANGE):
+            lo, hi = int(batch.keys[i]), int(batch.range_ends[i])
+            ks, vs = self.tree.range_scan(lo, hi)
+            raw[int(i)] = (ks, vs)
+            span_total += max(1, len(ks) // max(self.imodel.fanout // 2, 1) + 1)
+        return raw, span_total
+
+    def _apply_issued_updates(self, plan: CombinePlan, u_runs: np.ndarray) -> np.ndarray:
+        """Apply issued update-class requests (unique keys) host-side in
+        run order; returns their old values."""
+        old = np.full(u_runs.size, NULL_VALUE, dtype=np.int64)
+        tree = self.tree
+        for j, r in enumerate(u_runs):
+            kind = int(plan.issued_kinds[r])
+            key = int(plan.issued_keys[r])
+            if kind == OpKind.DELETE:
+                old[j] = tree.delete(key)
+            else:
+                old[j] = tree.upsert(key, int(plan.issued_values[r]))
+        return old
+
+    # ------------------------------------------------------------------ #
+    # vector engine
+    # ------------------------------------------------------------------ #
+    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
+        im = self.imodel
+        cfg = self.config
+        n = batch.n
+        plan = combine_point_requests(batch)
+        q_runs, u_runs = self._partition(plan)
+        t_sort, t_combine, t_rescal = self._host_phase_times(plan)
+
+        totals = EventTotals()
+        retries = np.zeros(n, dtype=np.float64)
+        height = self.tree.height
+
+        # ---- query kernel ------------------------------------------------
+        q_keys = plan.issued_keys[q_runs]
+        q_steps_avg = float(height)
+        if q_keys.size:
+            if cfg.enable_locality:
+                iplan = build_iteration_plan(
+                    int(q_keys.size), self.device.warp_size,
+                    cfg.rgs_per_iteration_warp, self.device.num_sms,
+                )
+                ls = vector_locality_steps(
+                    self.tree, iplan, q_keys, enable_rf=cfg.enable_rf_decision
+                )
+                q_leaves = ls.leaves
+                q_step_counts = ls.steps
+            else:
+                q_leaves, _ = batch_find_leaf(self.tree, q_keys)
+                q_step_counts = np.full(q_keys.size, height, dtype=np.int64)
+            q_visit = (
+                im.node_visit_ntg
+                if cfg.enable_narrowed_thread_groups
+                else im.node_visit_plain
+            )
+            totals.add(q_visit, count=float(q_step_counts.sum()), coalesce=COALESCE_SORTED)
+            totals.add(im.leaf_lookup_plain, count=int(q_keys.size), coalesce=COALESCE_SORTED)
+            q_old, _ = batch_leaf_lookup(self.tree, q_leaves, q_keys)
+            q_steps_avg = float(q_step_counts.mean())
+        else:
+            q_old = np.zeros(0, dtype=np.int64)
+            q_step_counts = np.zeros(0, dtype=np.int64)
+
+        # ---- range queries (in the query kernel, unprotected) -----------
+        raw, span_total = self._raw_ranges(batch)
+        n_ranges = len(raw)
+        if n_ranges:
+            totals.add(im.node_visit_plain, count=n_ranges * height, coalesce=COALESCE_SORTED)
+            totals.add(im.leaf_lookup_plain, count=span_total, coalesce=COALESCE_SORTED)
+            # copying each matched pair out costs a load+store per element
+            n_elements = sum(len(ks) for ks, _ in raw.values())
+            totals.add(InstCost(mem=2, alu=1), count=n_elements, coalesce=COALESCE_SORTED)
+
+        t_query = phase_seconds(totals, self.device)
+
+        # ---- update kernel ------------------------------------------------
+        u_totals = EventTotals()
+        u_keys = plan.issued_keys[u_runs]
+        u_steps_avg = float(height)
+        u_step_counts = np.zeros(0, dtype=np.int64)
+        if u_keys.size:
+            if cfg.enable_locality:
+                iplan = build_iteration_plan(
+                    int(u_keys.size), self.device.warp_size,
+                    cfg.rgs_per_iteration_warp, self.device.num_sms,
+                )
+                ls = vector_locality_steps(
+                    self.tree, iplan, u_keys, enable_rf=cfg.enable_rf_decision
+                )
+                u_leaves = ls.leaves
+                u_step_counts = ls.steps
+            else:
+                u_leaves, _ = batch_find_leaf(self.tree, u_keys)
+                u_step_counts = np.full(u_keys.size, height, dtype=np.int64)
+            u_totals.add(
+                im.node_visit_plain,
+                count=float(u_step_counts.sum()),
+                coalesce=COALESCE_SORTED,
+            )
+            u_totals.add(im.leaf_update_stm, count=int(u_keys.size), coalesce=COALESCE_SORTED)
+            # structure conflicts: concurrent writers to the same leaf clash
+            # only in the (short) leaf-region transaction
+            _, u_rank = writer_collision_groups(u_leaves)
+            u_retry = OVERLAP * u_rank
+            retry_cost = im.leaf_update_stm + im.abort_rollback
+            u_totals.add(retry_cost, count=float(u_retry.sum()), coalesce=COALESCE_SORTED)
+            u_totals.conflicts += float(u_retry.sum())
+            retries[plan.issued_orig[u_runs]] = u_retry
+            u_steps_avg = float(u_step_counts.mean())
+
+        splits_before = len(self.tree.split_events)
+        u_old = self._apply_issued_updates(plan, u_runs)
+        splits = len(self.tree.split_events) - splits_before
+        u_totals.add(im.split_smo, count=splits, coalesce=COALESCE_SORTED)
+        t_update = phase_seconds(u_totals, self.device)
+        totals.merge(u_totals)
+
+        # ---- RESULT_CAL ----------------------------------------------------
+        old_vals = np.full(plan.n_runs, NULL_VALUE, dtype=np.int64)
+        if q_runs.size:
+            old_vals[q_runs] = q_old
+        if u_runs.size:
+            old_vals[u_runs] = u_old
+        results = BatchResults.empty(n)
+        propagate_results(plan, old_vals, results)
+        patches = plan_range_patches(batch, plan)
+        apply_range_patches(batch, raw, patches, results)
+
+        phase = PhaseTime(
+            sort=t_sort,
+            combine=t_combine,
+            query_kernel=t_query,
+            update_kernel=t_update,
+            result_cal=t_rescal,
+        )
+        seconds = phase.total
+        # response times: every request's result is ready at the end of the
+        # pipeline; conflict retries add per-request jitter on top
+        resp = np.full(n, seconds / n)
+        if retries.any():
+            jitter = retries * (im.leaf_update_stm.mem + im.abort_rollback.mem) \
+                * self.device.cycles_per_mem_transaction / self.device.clock_hz / n
+            resp = resp + jitter
+
+        issued_steps = np.concatenate([q_step_counts, u_step_counts]) if (
+            q_keys.size or u_keys.size
+        ) else np.zeros(0)
+        steps_avg = float(issued_steps.mean()) if issued_steps.size else float(height)
+        return self._outcome_from_totals(
+            batch,
+            results,
+            totals,
+            phase,
+            resp,
+            steps_avg,
+            extras={
+                "plan": plan,
+                "n_combined": plan.n_combined,
+                "splits": splits,
+                "query_steps": q_steps_avg,
+                "update_steps": u_steps_avg,
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    # SIMT engine
+    # ------------------------------------------------------------------ #
+    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
+        cfg = self.config
+        tree = self.tree
+        n = batch.n
+        plan = combine_point_requests(batch)
+        q_runs, u_runs = self._partition(plan)
+        t_sort, t_combine, t_rescal = self._host_phase_times(plan)
+        stm_before = self.stm.stats.snapshot()
+
+        old_vals = np.full(plan.n_runs, NULL_VALUE, dtype=np.int64)
+        steps_record: list[int] = []
+        retries_total = 0
+
+        # ---- query kernel --------------------------------------------------
+        raw: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        sched_rng = self._launch_rng(batch)
+        q_launch = KernelLaunch(self.device, tree.arena, n, rng=sched_rng)
+        q_keys = plan.issued_keys[q_runs]
+
+        def q_on_result(slot: LaneSlot, val: int, steps: int, _horiz: bool) -> None:
+            old_vals[slot.tag] = val
+            steps_record.append(steps)
+
+        if q_keys.size:
+            if cfg.enable_locality:
+                self._add_iteration_warps(
+                    q_launch, plan, q_runs, q_on_result, update_ctx=None
+                )
+            else:
+                q_launch.add_programs(
+                    [
+                        self._plain_query_program(plan, int(r), old_vals, steps_record)
+                        for r in q_runs
+                    ]
+                )
+
+        range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
+        for i in range_idx:
+            q_launch.add_programs(
+                [self._range_program(int(i), int(batch.keys[i]), int(batch.range_ends[i]), raw)]
+            )
+        counters_q = q_launch.run() if q_launch.n_warps else None
+
+        # ---- update kernel ---------------------------------------------------
+        u_launch = KernelLaunch(self.device, tree.arena, n, rng=sched_rng)
+        u_retries = np.zeros(n, dtype=np.int64)
+
+        def u_on_result(slot: LaneSlot, val: int, steps: int, _horiz: bool) -> None:
+            old_vals[slot.tag] = val
+            steps_record.append(steps)
+
+        if u_runs.size:
+            if cfg.enable_locality:
+                self._add_iteration_warps(
+                    u_launch,
+                    plan,
+                    u_runs,
+                    u_on_result,
+                    update_ctx=(self.stm, self.smo_lock_addr, cfg.stm_retry_threshold),
+                )
+            else:
+                u_launch.add_programs(
+                    [
+                        self._plain_update_program(plan, int(r), old_vals, u_retries, steps_record)
+                        for r in u_runs
+                    ]
+                )
+        counters_u = u_launch.run() if u_launch.n_warps else None
+
+        # ---- RESULT_CAL -------------------------------------------------------
+        results = BatchResults.empty(n)
+        propagate_results(plan, old_vals, results)
+        patches = plan_range_patches(batch, plan)
+        apply_range_patches(batch, raw, patches, results)
+
+        # ---- assemble metrics -------------------------------------------------
+        t_query = self.device.cycles_to_seconds(counters_q.cycles) if counters_q else 0.0
+        t_update = self.device.cycles_to_seconds(counters_u.cycles) if counters_u else 0.0
+        phase = PhaseTime(
+            sort=t_sort,
+            combine=t_combine,
+            query_kernel=t_query,
+            update_kernel=t_update,
+            result_cal=t_rescal,
+        )
+        seconds = phase.total
+        stm_delta = self.stm.stats.delta_since(stm_before)
+        retries_total = int(u_retries.sum())
+
+        totals = EventTotals(conflicts=float(stm_delta.conflicts))
+        for counters in (counters_q, counters_u):
+            if counters is None:
+                continue
+            totals.mem += counters.mem_inst
+            totals.ctrl += counters.control_inst
+            totals.alu += counters.alu_inst
+            totals.atomic += counters.atomic_inst
+            totals.transactions += counters.transactions
+        merged = counters_q.merge(counters_u) if (counters_q and counters_u) else (
+            counters_q or counters_u
+        )
+        if merged is not None:
+            finish = simt_response_times(merged, seconds, n)
+        else:
+            finish = np.full(n, seconds / max(n, 1))
+
+        steps_arr = np.asarray(steps_record, dtype=np.int64)
+        outcome = self._outcome_from_totals(
+            batch,
+            results,
+            totals,
+            phase,
+            finish,
+            float(steps_arr.mean()) if steps_arr.size else float(tree.height),
+            extras={
+                "plan": plan,
+                "n_combined": plan.n_combined,
+                "stm": stm_delta,
+                "retries": retries_total,
+            },
+        )
+        outcome.counters = merged
+        return outcome
+
+    # ------------------------------------------------------------------ #
+    # SIMT program builders
+    # ------------------------------------------------------------------ #
+    def _plain_query_program(self, plan: CombinePlan, run: int, old_vals, steps_record):
+        tree = self.tree
+        key = int(plan.issued_keys[run])
+        req_id = int(plan.issued_orig[run])
+
+        def program():
+            val, steps = yield from d_query(tree, key)
+            old_vals[run] = val
+            steps_record.append(steps)
+            yield Mark(req_id)
+
+        return program()
+
+    def _range_program(self, req_id: int, lo: int, hi: int, raw: dict):
+        tree = self.tree
+
+        def program():
+            ks, vs, _steps = yield from d_range_raw(tree, lo, hi)
+            raw[req_id] = (np.array(ks, dtype=np.int64), np.array(vs, dtype=np.int64))
+            yield Mark(req_id)
+
+        return program()
+
+    def _plain_update_program(self, plan: CombinePlan, run: int, old_vals, u_retries, steps_record):
+        tree = self.tree
+        cfg = self.config
+        kind = int(plan.issued_kinds[run])
+        key = int(plan.issued_keys[run])
+        value = int(plan.issued_values[run])
+        req_id = int(plan.issued_orig[run])
+
+        def program():
+            res = yield from d_update(
+                tree, self.stm, self.smo_lock_addr, cfg.stm_retry_threshold,
+                req_id, kind, key, value,
+            )
+            old_vals[run] = res.old
+            u_retries[req_id] = res.retries
+            steps_record.append(res.steps)
+            yield Mark(req_id)
+
+        return program()
+
+    def _add_iteration_warps(self, launch, plan: CombinePlan, runs: np.ndarray,
+                             on_result, update_ctx) -> None:
+        """Pack the issued requests of ``runs`` (key-sorted) into iteration
+        warps of ``rgs_per_iteration_warp`` request groups each."""
+        cfg = self.config
+        ws = self.device.warp_size
+        iplan = build_iteration_plan(
+            int(runs.size), ws, cfg.rgs_per_iteration_warp, self.device.num_sms
+        )
+        for w in range(iplan.n_warps):
+            rgs = iplan.rgs_of_warp(w)
+            n_iters = len(rgs)
+            shared = make_warp_shared(n_iters)
+            lane_count = max(int(iplan.rg_end[r] - iplan.rg_start[r]) for r in rgs)
+            last_lane = [int(iplan.rg_end[r] - iplan.rg_start[r]) - 1 for r in rgs]
+            rg_max_key = [int(plan.issued_keys[runs[int(iplan.rg_end[r]) - 1]]) for r in rgs]
+            programs = []
+            for lane in range(lane_count):
+                slots: list[LaneSlot | None] = []
+                for r in rgs:
+                    pos = int(iplan.rg_start[r]) + lane
+                    if pos < int(iplan.rg_end[r]):
+                        run = int(runs[pos])
+                        slots.append(
+                            LaneSlot(
+                                req_id=int(plan.issued_orig[run]),
+                                kind=int(plan.issued_kinds[run]),
+                                key=int(plan.issued_keys[run]),
+                                value=int(plan.issued_values[run]),
+                                tag=run,
+                            )
+                        )
+                    else:
+                        slots.append(None)
+                programs.append(
+                    make_iteration_lane_program(
+                        self.tree, shared, lane, lane_count, slots, last_lane,
+                        rg_max_key, cfg.enable_rf_decision, on_result, update_ctx,
+                    )
+                )
+            launch.add_warp(programs)

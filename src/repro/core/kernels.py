@@ -1,0 +1,275 @@
+"""Eirene's SIMT kernels (§4.2 Algorithm 1 + §5 iteration warps).
+
+Query kernel: issued queries and range queries run **without any
+synchronization** — combining removed key conflicts, queries cannot be hurt
+by each other, and the query kernel launches before the update kernel so
+they cannot race with writers either.
+
+Update kernel: optimistic concurrency per Algorithm 1 — unprotected inner
+traversal until ``stm_retry_threshold`` failures (then STM-protected
+traversal), leaf operations always inside a leaf-region transaction with
+leaf-version validation; splits take the SMO path.
+
+Iteration warps: ``rgs_per_iteration_warp`` request groups share one warp;
+each lane processes one request per iteration, a warp-shared buffer carries
+the previous RG's last leaf + RF, and each iteration picks horizontal or
+vertical traversal by comparing the RG's maximal key with the buffered RF
+value. Lanes synchronize between iterations with a zero-cost barrier
+(parked lanes retire no instructions, like predication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .._types import OpKind
+from ..btree.device_ops import (
+    d_find_leaf,
+    d_find_leaf_stm,
+    d_leaf_covers,
+    d_leaf_delete_stm,
+    d_leaf_upsert_stm,
+    d_search_leaf,
+    d_smo_upsert,
+    d_walk_leaves,
+)
+from ..btree.layout import OFF_COUNT, OFF_NEXT, OFF_RF, OFF_VERSION
+from ..btree.tree import BPlusTree
+from ..errors import SimulationError, TransactionAborted
+from ..simt import Branch, Load, Mark, Noop
+from ..stm import DeviceStm
+
+MAX_RETRIES = 10_000
+
+
+# --------------------------------------------------------------------- #
+# plain (non-iteration-warp) programs
+# --------------------------------------------------------------------- #
+def d_query(tree: BPlusTree, key: int):
+    """Unprotected point query; returns (value, steps)."""
+    leaf, steps = yield from d_find_leaf(tree, key)
+    val = yield from d_search_leaf(tree, leaf, key)
+    return val, steps
+
+
+def d_range_raw(tree: BPlusTree, lo: int, hi: int):
+    """Unprotected range scan (pre-batch state; patched by RESULT_CAL).
+
+    Returns (keys, values, steps)."""
+    lay = tree.layout
+    leaf, steps = yield from d_find_leaf(tree, lo)
+    ks: list[int] = []
+    vs: list[int] = []
+    node = leaf
+    while True:
+        cnt = yield Load(lay.addr(node, OFF_COUNT))
+        yield Branch()
+        done = False
+        for slot in range(cnt):
+            k = yield Load(lay.key_addr(node, slot))
+            yield Branch()
+            if k > hi:
+                done = True
+                break
+            if k >= lo:
+                v = yield Load(lay.payload_addr(node, slot))
+                ks.append(int(k))
+                vs.append(int(v))
+        nxt = yield Load(lay.addr(node, OFF_NEXT))
+        yield Branch()
+        if done or nxt == -1:
+            return ks, vs, steps
+        node = nxt
+        steps += 1
+
+
+@dataclass
+class UpdateResult:
+    old: int
+    steps: int
+    retries: int
+    horizontal: bool
+    leaf: int
+
+
+def _d_attempt_leaf_op(
+    tree: BPlusTree,
+    stm: DeviceStm,
+    smo_lock_addr: int,
+    req_id: int,
+    kind: int,
+    key: int,
+    value: int,
+    leaf: int,
+    leafvers: int,
+):
+    """One leaf-region transaction attempt (Algorithm 1 lines 37–45).
+
+    Returns the old value; raises TransactionAborted to request a retry.
+    """
+    tx = stm.begin()
+    cur_vers = yield from stm.d_read(tx, tree.layout.addr(leaf, OFF_VERSION))
+    covers = yield from d_leaf_covers(tree, leaf, key)
+    yield Branch()
+    if cur_vers != leafvers or not covers:
+        yield from stm.d_abort(tx)  # counted: a structure conflict
+        raise TransactionAborted("leaf validation failed")
+    if kind == OpKind.DELETE:
+        old = yield from d_leaf_delete_stm(tree, stm, tx, leaf, key)
+        yield from stm.d_commit(tx)
+        return old
+    old, needs_split = yield from d_leaf_upsert_stm(tree, stm, tx, leaf, key, value)
+    yield Branch()
+    if needs_split:
+        yield from stm.d_abort(tx, counted=False)
+        old = yield from d_smo_upsert(tree, stm, smo_lock_addr, req_id, key, value)
+        return old
+    yield from stm.d_commit(tx)
+    return old
+
+
+def d_update(
+    tree: BPlusTree,
+    stm: DeviceStm,
+    smo_lock_addr: int,
+    threshold: int,
+    req_id: int,
+    kind: int,
+    key: int,
+    value: int,
+    leaf_hint: int | None = None,
+):
+    """Optimistic update (Algorithm 1), optionally starting from a buffered
+    leaf hint (horizontal traversal, §5). Returns :class:`UpdateResult`."""
+    retries = 0
+    steps_total = 0
+    horizontal = False
+    if leaf_hint is not None:
+        leaf, steps = yield from d_walk_leaves(tree, leaf_hint, key)
+        steps_total += steps
+        leafvers = yield Load(tree.layout.addr(leaf, OFF_VERSION))
+        try:
+            old = yield from _d_attempt_leaf_op(
+                tree, stm, smo_lock_addr, req_id, kind, key, value, leaf, leafvers
+            )
+            return UpdateResult(old, steps_total, retries, True, leaf)
+        except TransactionAborted:
+            # §5: conflicts on the horizontal path retry vertically
+            retries += 1
+            horizontal = True
+    while True:
+        if retries > MAX_RETRIES:
+            raise SimulationError(f"update request {req_id} livelocked")
+        if retries < threshold:
+            leaf, steps = yield from d_find_leaf(tree, key)
+        else:
+            tx0 = stm.begin()
+            try:
+                leaf, steps = yield from d_find_leaf_stm(tree, stm, tx0, key)
+                yield from stm.d_commit(tx0)
+            except TransactionAborted:
+                retries += 1
+                continue
+        steps_total += steps
+        leafvers = yield Load(tree.layout.addr(leaf, OFF_VERSION))
+        try:
+            old = yield from _d_attempt_leaf_op(
+                tree, stm, smo_lock_addr, req_id, kind, key, value, leaf, leafvers
+            )
+            return UpdateResult(old, steps_total, retries, horizontal, leaf)
+        except TransactionAborted:
+            retries += 1
+
+
+# --------------------------------------------------------------------- #
+# iteration-warp programs (§5)
+# --------------------------------------------------------------------- #
+@dataclass
+class LaneSlot:
+    """One lane's request in one iteration of an iteration warp."""
+
+    req_id: int  # original batch index (used for Mark / response time)
+    kind: int
+    key: int
+    value: int  # write payload for update-class requests
+    tag: int = 0  # caller-defined id (Eirene passes the combine-run id)
+
+
+def make_iteration_lane_program(
+    tree: BPlusTree,
+    shared: dict,
+    lane: int,
+    n_lanes: int,
+    slots: list[LaneSlot | None],
+    last_lane_of_iter: list[int],
+    rg_max_key: list[int],
+    enable_rf: bool,
+    on_result,
+    update_ctx: tuple[DeviceStm, int, int] | None = None,
+):
+    """Build one lane of an iteration warp.
+
+    ``slots[it]`` is the lane's request in iteration ``it`` (None when the
+    final RG is ragged). ``on_result(slot, value, steps, horizontal)`` is
+    called with each finished request. For update kernels pass
+    ``update_ctx=(stm, smo_lock_addr, retry_threshold)``; queries run
+    unprotected.
+    """
+    height = tree.height
+    lay = tree.layout
+
+    def program():
+        n_iters = len(slots)
+        for it in range(n_iters):
+            slot = slots[it]
+            if slot is not None:
+                buffered = shared["leaf"][it - 1] if it > 0 else None
+                use_horizontal = buffered is not None and (
+                    not enable_rf or rg_max_key[it] <= shared["rf"][it - 1]
+                )
+                if update_ctx is not None:
+                    stm, smo_addr, threshold = update_ctx
+                    hint = buffered if use_horizontal else None
+                    res = yield from d_update(
+                        tree, stm, smo_addr, threshold,
+                        slot.req_id, slot.kind, slot.key, slot.value, hint,
+                    )
+                    val, steps, horiz, my_leaf = (
+                        res.old, res.steps, res.horizontal, res.leaf,
+                    )
+                else:
+                    if use_horizontal:
+                        my_leaf, steps = yield from d_walk_leaves(tree, buffered, slot.key)
+                        horiz = True
+                    else:
+                        my_leaf, steps = yield from d_find_leaf(tree, slot.key)
+                        horiz = False
+                    val = yield from d_search_leaf(tree, my_leaf, slot.key)
+                on_result(slot, val, steps, horiz)
+                # the RG's last lane publishes its leaf + RF to the buffer,
+                # and §5's dynamic RF maintenance fires on long walks
+                if lane == last_lane_of_iter[it] and my_leaf is not None:
+                    if horiz and steps > height:
+                        tree.update_rf(buffered, steps)
+                    rf = yield Load(lay.addr(my_leaf, OFF_RF))
+                    shared["leaf"][it] = my_leaf
+                    shared["rf"][it] = rf
+                yield Mark(slot.req_id)
+            # barrier: wait for every lane to finish this iteration
+            shared["arrived"][it] += 1
+            while shared["arrived"][it] < n_lanes:
+                yield Noop()
+        return None
+
+    return program()
+
+
+def make_warp_shared(n_iters: int) -> dict:
+    """Fresh shared buffer for one iteration warp."""
+    return {
+        "leaf": [None] * n_iters,
+        "rf": [np.iinfo(np.int64).max] * n_iters,
+        "arrived": [0] * n_iters,
+    }

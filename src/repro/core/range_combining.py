@@ -1,0 +1,126 @@
+"""Range queries under combining (§4.1.2).
+
+A range query cannot be combined per-key, and executing it "in the original
+manner" against the tree would be wrong once updates in its range were
+combined away (Fig. 4). The paper's mechanism, implemented here:
+
+* range queries are sorted with the other requests by their lower bound
+  (they ride the same pipeline; their tree scan reads the pre-batch state
+  because the query kernel launches before the update kernel);
+* for every key inside a range that also has update-class requests in the
+  batch, an *artificial query* is generated with the range query's
+  timestamp and inserted into that key's dependence chain (Fig. 5);
+* after the range executes, each patched key's value in the range result is
+  replaced by the artificial query's result — including **insertion** of a
+  key the pre-batch tree lacked (the artificial query saw an insert before
+  the range's timestamp) and **removal** of a key whose nearest preceding
+  update was a delete.
+
+An artificial query whose dependence chain has no write before the range's
+timestamp resolves to the key's old value — a no-op patch, skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._types import NULL_VALUE, OpKind, is_update_kind_array
+from ..workloads.requests import BatchResults, RequestBatch
+from .combining import CombinePlan
+
+
+@dataclass
+class RangePatchPlan:
+    """Artificial-query patches grouped by range request.
+
+    Parallel arrays, sorted by (range request, key): patch ``j`` says that
+    range ``range_pos[j]`` must see ``key[j]`` with ``value[j]``
+    (``NULL_VALUE`` ⇒ the key is absent at the range's timestamp).
+    """
+
+    range_pos: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    keys: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    values: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def n(self) -> int:
+        return int(self.range_pos.size)
+
+    def patches_for(self, pos: int) -> dict[int, int]:
+        sel = self.range_pos == pos
+        return {
+            int(k): int(v) for k, v in zip(self.keys[sel], self.values[sel], strict=True)
+        }
+
+
+def plan_range_patches(batch: RequestBatch, plan: CombinePlan) -> RangePatchPlan:
+    """Generate artificial queries for every (range, updated key) pair."""
+    range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
+    if range_idx.size == 0 or plan.n_runs == 0:
+        return RangePatchPlan()
+
+    # per-run update-element lists (sorted domain is key-major, ts-minor)
+    is_upd = is_update_kind_array(plan.sorted_kinds)
+    upd_pos = np.flatnonzero(is_upd)
+    upd_run = plan.run_id[upd_pos]
+    upd_ts = plan.sorted_orig[upd_pos]  # original index == timestamp
+    upd_val = plan.sorted_values[upd_pos]
+    upd_del = plan.sorted_kinds[upd_pos] == OpKind.DELETE
+    # boundaries of each run's slice in upd_* (upd_run is non-decreasing)
+    run_lo = np.searchsorted(upd_run, np.arange(plan.n_runs), side="left")
+    run_hi = np.searchsorted(upd_run, np.arange(plan.n_runs), side="right")
+    run_keys = plan.sorted_keys[plan.run_start]
+
+    out_pos: list[int] = []
+    out_key: list[int] = []
+    out_val: list[int] = []
+    for i in range_idx:
+        ts = int(i)
+        lo, hi = int(batch.keys[i]), int(batch.range_ends[i])
+        r0 = int(np.searchsorted(run_keys, lo, side="left"))
+        r1 = int(np.searchsorted(run_keys, hi, side="right"))
+        for r in range(r0, r1):
+            a, b = int(run_lo[r]), int(run_hi[r])
+            if a == b:
+                continue  # no updates for this key
+            # artificial query at timestamp ts: nearest write strictly before
+            j = int(np.searchsorted(upd_ts[a:b], ts, side="left"))
+            if j == 0:
+                continue  # no predecessor write: old value, no patch needed
+            w = a + j - 1
+            out_pos.append(ts)
+            out_key.append(int(run_keys[r]))
+            out_val.append(NULL_VALUE if upd_del[w] else int(upd_val[w]))
+    return RangePatchPlan(
+        range_pos=np.asarray(out_pos, dtype=np.int64),
+        keys=np.asarray(out_key, dtype=np.int64),
+        values=np.asarray(out_val, dtype=np.int64),
+    )
+
+
+def apply_range_patches(
+    batch: RequestBatch,
+    raw_ranges: dict[int, tuple[np.ndarray, np.ndarray]],
+    patch_plan: RangePatchPlan,
+    results: BatchResults,
+) -> None:
+    """Merge raw pre-batch range scans with the artificial-query patches
+    and install the final ragged results."""
+    patched: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+    for pos, (ks, vs) in raw_ranges.items():
+        patches = patch_plan.patches_for(pos)
+        if not patches:
+            patched[pos] = (ks, vs)
+            continue
+        merged = {int(k): int(v) for k, v in zip(ks, vs, strict=True)}
+        for k, v in patches.items():
+            if v == NULL_VALUE:
+                merged.pop(k, None)
+            else:
+                merged[k] = v
+        out_k = np.array(sorted(merged), dtype=np.int64)
+        out_v = np.array([merged[int(k)] for k in out_k], dtype=np.int64)
+        patched[pos] = (out_k, out_v)
+    results.set_range_results(patched)

@@ -1,0 +1,64 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so callers
+can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """Raised when a configuration object is invalid or inconsistent."""
+
+
+class MemoryError_(ReproError):
+    """Raised on invalid arena accesses (out-of-bounds, exhausted arena).
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class TreeError(ReproError):
+    """Raised on structural B+tree failures (corrupt node, bad build input)."""
+
+
+class TreeFullError(TreeError):
+    """Raised when the node arena cannot allocate another node."""
+
+
+class TransactionError(ReproError):
+    """Raised on STM protocol misuse (e.g. commit without begin)."""
+
+
+class TransactionAborted(TransactionError):
+    """Control-flow signal: the current transaction hit a conflict.
+
+    Thread programs catch this and retry; it is an expected event, not a
+    failure, but it derives from :class:`TransactionError` so un-handled
+    aborts surface loudly.
+    """
+
+    def __init__(self, reason: str = "conflict") -> None:
+        super().__init__(reason)
+        self.reason = reason
+
+
+class LockError(ReproError):
+    """Raised on latch protocol misuse (double release, foreign release)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a SIMT thread program violates the simulator protocol."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications."""
+
+
+class LinearizabilityViolation(ReproError):
+    """Raised by the checker when concurrent results diverge from the
+    sequential timestamp-order execution."""

@@ -1,0 +1,80 @@
+"""Construction helpers: size one arena for tree + synchronization metadata
+and build any system over it.
+
+The STM-based systems (STM GB-tree, Eirene) need ownership/version tables
+covering the node region (2 extra words per protected word) plus one SMO
+latch word; the Lock GB-tree only needs the per-node lock words already in
+the node layout. One factory sizes everything up front so callers never
+think about arena arithmetic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .btree.layout import NodeLayout
+from .btree.tree import BPlusTree
+from .config import DeviceConfig, TreeConfig
+from .memory import MemoryArena
+from .stm import StmRegion
+
+
+def build_tree(
+    keys: np.ndarray,
+    values: np.ndarray,
+    config: TreeConfig | None = None,
+    fill_factor: float = 0.7,
+    with_stm_tables: bool = True,
+) -> tuple[BPlusTree, StmRegion | None, int]:
+    """Build a tree in an arena sized for its synchronization metadata.
+
+    Returns ``(tree, stm_region, smo_lock_addr)``; ``stm_region`` is None
+    when ``with_stm_tables`` is False.
+    """
+    config = config or TreeConfig()
+    layout = NodeLayout(fanout=config.fanout)
+    max_nodes = BPlusTree.plan_max_nodes(len(keys), config, fill_factor)
+    node_words = layout.arena_words(max_nodes)
+    total = node_words + (2 * node_words if with_stm_tables else 0) + 64
+    arena = MemoryArena(total, words_per_segment=layout.words_per_segment)
+    tree = BPlusTree.build(keys, values, config, fill_factor, arena=arena)
+    region = None
+    if with_stm_tables:
+        region = StmRegion(arena, tree.layout.base, node_words)
+    smo_lock_addr = arena.alloc(1)
+    return tree, region, smo_lock_addr
+
+
+def make_system(
+    system: str,
+    keys: np.ndarray,
+    values: np.ndarray,
+    tree_config: TreeConfig | None = None,
+    device: DeviceConfig | None = None,
+    fill_factor: float = 0.7,
+    **kwargs,
+):
+    """Build a ready-to-run system by name.
+
+    ``system`` ∈ {"nocc", "stm", "lock", "eirene"}; extra kwargs go to the
+    system constructor (e.g. ``config=EireneConfig(...)`` for Eirene).
+    """
+    from .baselines.lock_gbtree import LockGBTree
+    from .baselines.nocc import NoCCGBTree
+    from .baselines.stm_gbtree import StmGBTree
+    from .core.eirene import EireneTree
+
+    name = system.lower()
+    if name == "nocc":
+        tree, _, _ = build_tree(keys, values, tree_config, fill_factor, with_stm_tables=False)
+        return NoCCGBTree(tree, device, **kwargs)
+    if name == "stm":
+        tree, region, smo = build_tree(keys, values, tree_config, fill_factor)
+        return StmGBTree(tree, region, smo, device, **kwargs)
+    if name == "lock":
+        tree, _, _ = build_tree(keys, values, tree_config, fill_factor, with_stm_tables=False)
+        return LockGBTree(tree, device, **kwargs)
+    if name == "eirene":
+        tree, region, smo = build_tree(keys, values, tree_config, fill_factor)
+        return EireneTree(tree, region, smo, device, **kwargs)
+    raise ValueError(f"unknown system {system!r}; use nocc/stm/lock/eirene")

@@ -1,0 +1,33 @@
+"""GPU-style data-parallel primitives (the CUB substitute).
+
+Everything Eirene's host pipeline needs: stable LSD radix sort, Blelloch
+scans (plain and segmented), stream compaction and run-length detection.
+All primitives execute their real GPU dataflow (per-level / per-pass
+vectorized steps) and report work counts for the device cost model.
+"""
+
+from .compact import compact_indices, expand_runs, run_heads, run_lengths
+from .radix import RadixWork, radix_argsort, radix_sort_pairs, significant_passes
+from .scan import (
+    ScanWork,
+    exclusive_scan,
+    inclusive_scan,
+    segment_ids,
+    segmented_exclusive_scan,
+)
+
+__all__ = [
+    "RadixWork",
+    "ScanWork",
+    "compact_indices",
+    "exclusive_scan",
+    "expand_runs",
+    "inclusive_scan",
+    "radix_argsort",
+    "radix_sort_pairs",
+    "run_heads",
+    "run_lengths",
+    "segment_ids",
+    "segmented_exclusive_scan",
+    "significant_passes",
+]

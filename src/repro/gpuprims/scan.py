@@ -1,0 +1,119 @@
+"""Parallel prefix-scan primitives (Blelloch work-efficient scan).
+
+The scans really execute the up-sweep / down-sweep phases level by level,
+with each level a single vectorized step — the same dataflow a GPU scan
+kernel has, so the returned :class:`ScanWork` mirrors the work/depth a CUB
+scan would incur. The paper's pipeline uses scans inside radix sort, stream
+compaction, and the combining scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class ScanWork:
+    """Work/depth accounting for one scan launch."""
+
+    n: int = 0
+    levels: int = 0
+    element_ops: int = 0
+
+    def merge(self, other: "ScanWork") -> None:
+        self.n += other.n
+        self.levels += other.levels
+        self.element_ops += other.element_ops
+
+
+def _ceil_pow2(n: int) -> int:
+    p = 1
+    while p < n:
+        p <<= 1
+    return p
+
+
+def exclusive_scan(
+    values: np.ndarray, work: ScanWork | None = None
+) -> np.ndarray:
+    """Work-efficient exclusive prefix sum (Blelloch 1990).
+
+    Pads to a power of two, runs ``log2`` up-sweep and down-sweep levels,
+    each level one strided vector operation.
+    """
+    values = np.asarray(values)
+    n = int(values.size)
+    if n == 0:
+        return np.zeros(0, dtype=values.dtype if values.dtype.kind in "iu" else np.int64)
+    m = _ceil_pow2(n)
+    buf = np.zeros(m, dtype=np.int64)
+    buf[:n] = values
+    levels = 0
+    ops = 0
+    # up-sweep (reduce)
+    stride = 1
+    while stride < m:
+        idx = np.arange(2 * stride - 1, m, 2 * stride)
+        buf[idx] += buf[idx - stride]
+        levels += 1
+        ops += int(idx.size)
+        stride <<= 1
+    # down-sweep
+    buf[m - 1] = 0
+    stride = m >> 1
+    while stride >= 1:
+        idx = np.arange(2 * stride - 1, m, 2 * stride)
+        left = buf[idx - stride].copy()
+        buf[idx - stride] = buf[idx]
+        buf[idx] += left
+        levels += 1
+        ops += int(idx.size)
+        stride >>= 1
+    if work is not None:
+        work.merge(ScanWork(n=n, levels=levels, element_ops=ops))
+    out = buf[:n]
+    if values.dtype.kind in "iu":
+        return out.astype(values.dtype)
+    return out
+
+
+def inclusive_scan(values: np.ndarray, work: ScanWork | None = None) -> np.ndarray:
+    """Inclusive prefix sum built on the exclusive scan."""
+    values = np.asarray(values)
+    ex = exclusive_scan(values, work)
+    return ex + values
+
+
+def segmented_exclusive_scan(
+    values: np.ndarray, segment_heads: np.ndarray, work: ScanWork | None = None
+) -> np.ndarray:
+    """Exclusive scan restarting at each ``True`` in ``segment_heads``.
+
+    Used by the combining pass to rank requests within each same-key run.
+    Implemented as a global exclusive scan minus the scanned value carried
+    into each segment — the standard GPU decomposition (two scans + gather).
+    """
+    values = np.asarray(values, dtype=np.int64)
+    heads = np.asarray(segment_heads, dtype=bool)
+    if values.size != heads.size:
+        raise ValueError("values and segment_heads must have equal length")
+    if values.size == 0:
+        return values.copy()
+    total = exclusive_scan(values, work)
+    # value of the global scan at each segment's head, broadcast to members
+    seg_id = inclusive_scan(heads.astype(np.int64), work) - 1
+    head_idx = np.flatnonzero(heads)
+    if head_idx.size == 0 or head_idx[0] != 0:
+        raise ValueError("segment_heads[0] must be True")
+    base = total[head_idx]
+    return total - base[seg_id]
+
+
+def segment_ids(segment_heads: np.ndarray, work: ScanWork | None = None) -> np.ndarray:
+    """Map each element to the index of its segment (0-based)."""
+    heads = np.asarray(segment_heads, dtype=np.int64)
+    if heads.size == 0:
+        return heads.copy()
+    return inclusive_scan(heads, work) - 1

@@ -1,0 +1,58 @@
+"""Reference numbers reported in the paper (Zhang et al., PPoPP'23, §2+§8).
+
+Used by the figure harness to print paper-vs-measured comparisons and by
+EXPERIMENTS.md. Absolute values are A100-scale; shape/ratio entries are the
+reproduction targets.
+"""
+
+from __future__ import annotations
+
+# ---- Fig. 1 (motivation): instructions per request -------------------- #
+FIG1_MEM_INST = {"nocc": 70.0, "stm": 209.0, "lock": 79.0}
+FIG1_CONTROL_INST = {"nocc": 1907.0, "stm": 8562.0, "lock": 5445.0}
+FIG1_MEM_RATIO = {"stm": 2.98, "lock": 1.12}  # vs no-CC
+FIG1_CONTROL_RATIO = {"stm": 4.49, "lock": 2.85}
+
+# ---- Fig. 2 / Fig. 8 (QoS): response time ------------------------------- #
+AVG_RESPONSE_NS = {"stm": 5.5, "lock": 3.1, "eirene": 0.41}
+RESPONSE_VARIANCE = {"stm": 0.40, "lock": 0.36, "eirene": 0.05}
+EIRENE_MAX_RESPONSE_NS = 0.42
+EIRENE_MIN_RESPONSE_NS = 0.40
+
+# ---- Fig. 7 (overall throughput) ---------------------------------------- #
+EIRENE_THROUGHPUT_MOPS = 2400.0  # default config, million requests/s
+SPEEDUP_VS_STM = 13.68
+SPEEDUP_VS_LOCK = 7.43
+TREE_SIZES_LOG2 = (23, 24, 25, 26)
+
+# ---- Fig. 9 (Eirene instruction profile, normalized) --------------------- #
+EIRENE_MEM_VS_STM = 0.039
+EIRENE_CONTROL_VS_STM = 0.020
+EIRENE_MEM_VS_LOCK = 0.085
+EIRENE_CONTROL_VS_LOCK = 0.018
+EIRENE_CONFLICTS_VS_STM = 0.048
+
+# ---- Fig. 10 (traversal steps) -------------------------------------------- #
+EIRENE_STEP_REDUCTION_AT_2_23 = 0.67  # 67% fewer steps than the baselines
+HORIZONTAL_STEPS = {23: 1.5, 26: 3.4}
+
+# ---- Fig. 11 (design choices) ----------------------------------------------- #
+COMBINING_SPEEDUP_VS_STM = 6.26
+FULL_EIRENE_SPEEDUP_VS_STM = 13.68
+
+# ---- Fig. 12 (optimization contributions) ------------------------------------ #
+COMBINING_CONFLICT_REDUCTION = 0.57
+COMBINING_MEM_REDUCTION = 0.965
+COMBINING_CONTROL_REDUCTION = 0.984
+LOCALITY_CONFLICT_REDUCTION = 0.43
+LOCALITY_MEM_REDUCTION = 0.035
+LOCALITY_CONTROL_REDUCTION = 0.016
+
+# ---- Fig. 13 (range queries) --------------------------------------------------- #
+RANGE_THROUGHPUT_MOPS = {
+    ("eirene", 4): 1181.0,
+    ("eirene", 8): 1034.0,
+    ("lock", 4): 235.0,
+    ("lock", 8): 175.0,
+}
+RANGE_SPEEDUP_VS_LOCK = 5.94

@@ -1,0 +1,56 @@
+"""Figure/table rendering: paper-vs-measured reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: a labelled table plus paper-reference notes."""
+
+    figure: str
+    title: str
+    columns: list[str]
+    rows: list[list] = field(default_factory=list)
+    paper_notes: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, label: str, *values) -> None:
+        self.rows.append([label, *values])
+
+    def value(self, label: str, column: str) -> float:
+        try:
+            col = self.columns.index(column) + 1
+        except ValueError as exc:
+            raise KeyError(f"unknown column {column!r}") from exc
+        for row in self.rows:
+            if row[0] == label:
+                return float(row[col])
+        raise KeyError(f"unknown row {label!r}")
+
+    def ratio(self, label_a: str, label_b: str, column: str) -> float:
+        """rows[a][col] / rows[b][col] — speedups and normalizations."""
+        denom = self.value(label_b, column)
+        return self.value(label_a, column) / denom if denom else float("inf")
+
+    def render(self, width: int = 30) -> str:
+        lines = [f"=== {self.figure}: {self.title} ==="]
+        col_w = max(16, max((len(c) for c in self.columns), default=0) + 2)
+        header = f"{'':<{width}}" + "".join(f"{c:>{col_w}}" for c in self.columns)
+        lines.append(header)
+        for row in self.rows:
+            cells = []
+            for v in row[1:]:
+                if isinstance(v, float):
+                    cells.append(f"{v:>{col_w}.3f}")
+                else:
+                    cells.append(f"{v!s:>{col_w}}")
+            lines.append(f"{row[0]:<{width}}" + "".join(cells))
+        if self.paper_notes:
+            lines.append("-- paper reference --")
+            lines.extend(f"  {n}" for n in self.paper_notes)
+        if self.notes:
+            lines.append("-- notes --")
+            lines.extend(f"  {n}" for n in self.notes)
+        return "\n".join(lines)

@@ -1,0 +1,12 @@
+"""Linearizability: sequential reference executor and checker."""
+
+from .checker import CheckReport, check_linearizable, compare_results, compare_state
+from .sequential import SequentialReference
+
+__all__ = [
+    "CheckReport",
+    "SequentialReference",
+    "check_linearizable",
+    "compare_results",
+    "compare_state",
+]

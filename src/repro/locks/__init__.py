@@ -1,0 +1,5 @@
+"""Fine-grained node latches for the Lock GB-tree baseline."""
+
+from .latch import FREE, LatchTable, LockStats
+
+__all__ = ["FREE", "LatchTable", "LockStats"]

@@ -1,0 +1,13 @@
+"""Simulated GPU global memory: arena, access stats, coalescing model."""
+
+from .arena import MemoryArena
+from .coalescing import coalescing_efficiency, segments_touched, segments_touched_array
+from .stats import MemoryStats
+
+__all__ = [
+    "MemoryArena",
+    "MemoryStats",
+    "coalescing_efficiency",
+    "segments_touched",
+    "segments_touched_array",
+]

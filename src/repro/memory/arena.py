@@ -1,0 +1,186 @@
+"""Simulated GPU global memory.
+
+A :class:`MemoryArena` is a flat array of 64-bit words with a bump
+allocator. Everything the simulated device can see — B+tree nodes, the STM
+ownership table, latch words, request buffers — lives in one arena so that
+word addresses are globally meaningful: the STM locks *addresses*, latches
+are *words*, and the coalescing model groups *addresses* into segments.
+
+Two access planes exist:
+
+* **counted** accesses (:meth:`read`, :meth:`write`, :meth:`atomic_cas`, …)
+  increment :class:`~repro.memory.stats.MemoryStats` and are what kernels
+  use. Warp-granularity vector accesses (:meth:`read_gather`) additionally
+  feed the coalescing model.
+* **host** accesses (:meth:`host_view`, :attr:`data`) are free — they model
+  CPU-side setup such as the initial bulk build, exactly as the paper
+  excludes tree-construction cost from its measurements.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .._types import WORD_DTYPE
+from ..errors import MemoryError_
+from .coalescing import segments_touched_array
+from .stats import MemoryStats
+
+
+class MemoryArena:
+    """Flat, counted word-addressable memory with a bump allocator."""
+
+    def __init__(self, capacity_words: int, words_per_segment: int = 16) -> None:
+        if capacity_words <= 0:
+            raise MemoryError_(f"arena capacity must be positive, got {capacity_words}")
+        self._data = np.zeros(capacity_words, dtype=WORD_DTYPE)
+        self._brk = 0
+        self.words_per_segment = words_per_segment
+        self.stats = MemoryStats()
+        #: when False, counted accessors skip all accounting (fast path for
+        #: functional runs where only results matter).
+        self.counting = True
+
+    # ------------------------------------------------------------------ #
+    # allocation
+    # ------------------------------------------------------------------ #
+    @property
+    def capacity(self) -> int:
+        return int(self._data.size)
+
+    @property
+    def allocated(self) -> int:
+        return self._brk
+
+    def alloc(self, nwords: int, align: int = 1) -> int:
+        """Reserve ``nwords`` words; return the base address.
+
+        ``align`` rounds the base up to a multiple (e.g. segment-align node
+        blocks so a node never straddles more segments than necessary).
+        """
+        if nwords < 0:
+            raise MemoryError_(f"cannot allocate {nwords} words")
+        base = self._brk
+        if align > 1:
+            base = (base + align - 1) // align * align
+        if base + nwords > self._data.size:
+            raise MemoryError_(
+                f"arena exhausted: need {nwords} words at {base}, "
+                f"capacity {self._data.size}"
+            )
+        self._brk = base + nwords
+        return base
+
+    # ------------------------------------------------------------------ #
+    # counted scalar accesses
+    # ------------------------------------------------------------------ #
+    def _check(self, addr: int) -> None:
+        if addr < 0 or addr >= self._data.size:
+            raise MemoryError_(f"address {addr} out of bounds [0, {self._data.size})")
+
+    def read(self, addr: int, label: str | None = None) -> int:
+        """Counted scalar load."""
+        self._check(addr)
+        if self.counting:
+            self.stats.reads += 1
+            self.stats.read_words += 1
+            self.stats.transactions += 1
+            if label:
+                self.stats.add_label(label)
+        return int(self._data[addr])
+
+    def write(self, addr: int, value: int, label: str | None = None) -> None:
+        """Counted scalar store."""
+        self._check(addr)
+        if self.counting:
+            self.stats.writes += 1
+            self.stats.write_words += 1
+            self.stats.transactions += 1
+            if label:
+                self.stats.add_label(label)
+        self._data[addr] = value
+
+    # ------------------------------------------------------------------ #
+    # counted atomics (sequential simulator => naturally atomic)
+    # ------------------------------------------------------------------ #
+    def atomic_cas(self, addr: int, expected: int, desired: int) -> int:
+        """Compare-and-swap; returns the *old* value (CUDA ``atomicCAS``)."""
+        self._check(addr)
+        old = int(self._data[addr])
+        if self.counting:
+            self.stats.atomics += 1
+            self.stats.transactions += 1
+            if old != expected:
+                self.stats.atomic_conflicts += 1
+        if old == expected:
+            self._data[addr] = desired
+        return old
+
+    def atomic_add(self, addr: int, delta: int) -> int:
+        """Atomic fetch-and-add; returns the old value."""
+        self._check(addr)
+        old = int(self._data[addr])
+        if self.counting:
+            self.stats.atomics += 1
+            self.stats.transactions += 1
+        self._data[addr] = old + delta
+        return old
+
+    def atomic_exch(self, addr: int, value: int) -> int:
+        """Atomic exchange; returns the old value."""
+        self._check(addr)
+        old = int(self._data[addr])
+        if self.counting:
+            self.stats.atomics += 1
+            self.stats.transactions += 1
+        self._data[addr] = value
+        return old
+
+    # ------------------------------------------------------------------ #
+    # counted warp-granularity (vector) accesses
+    # ------------------------------------------------------------------ #
+    def read_gather(self, addrs: np.ndarray, label: str | None = None) -> np.ndarray:
+        """One warp load: gather ``addrs`` (per active lane) in one instruction.
+
+        Counts one memory instruction, ``len(addrs)`` words, and as many
+        transactions as distinct segments touched (the coalescing model).
+        """
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
+            raise MemoryError_("gather address out of bounds")
+        if self.counting and addrs.size:
+            self.stats.reads += 1
+            self.stats.read_words += int(addrs.size)
+            self.stats.transactions += segments_touched_array(addrs, self.words_per_segment)
+            if label:
+                self.stats.add_label(label)
+        return self._data[addrs]
+
+    def write_scatter(
+        self, addrs: np.ndarray, values: np.ndarray, label: str | None = None
+    ) -> None:
+        """One warp store: scatter ``values`` to ``addrs``."""
+        addrs = np.asarray(addrs, dtype=np.int64)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
+            raise MemoryError_("scatter address out of bounds")
+        if self.counting and addrs.size:
+            self.stats.writes += 1
+            self.stats.write_words += int(addrs.size)
+            self.stats.transactions += segments_touched_array(addrs, self.words_per_segment)
+            if label:
+                self.stats.add_label(label)
+        self._data[addrs] = values
+
+    # ------------------------------------------------------------------ #
+    # host (uncounted) plane
+    # ------------------------------------------------------------------ #
+    @property
+    def data(self) -> np.ndarray:
+        """Raw backing array. Host-side only; accesses are not counted."""
+        return self._data
+
+    def host_view(self, base: int, nwords: int) -> np.ndarray:
+        """Uncounted mutable view of ``[base, base + nwords)``."""
+        if base < 0 or base + nwords > self._data.size:
+            raise MemoryError_(f"host view [{base}, {base + nwords}) out of bounds")
+        return self._data[base : base + nwords]

@@ -1,0 +1,46 @@
+"""Coalescing model: map a set of per-lane word addresses to 128B segments.
+
+On NVIDIA hardware a warp's global load is serviced as one transaction per
+distinct 128-byte segment touched by its active lanes. Awad et al.'s Lock
+GB-tree is explicitly engineered around this; our simulator reproduces the
+effect so that layouts which scatter lanes across nodes pay proportionally
+more traffic than layouts where a warp cooperates on one node.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+
+
+def segments_touched(addresses: Iterable[int], words_per_segment: int) -> int:
+    """Number of distinct memory segments covered by word ``addresses``.
+
+    ``addresses`` are word indices into the arena; a segment holds
+    ``words_per_segment`` consecutive words (16 for 128B segments of 8-byte
+    words).
+    """
+    addrs = np.asarray(list(addresses) if not isinstance(addresses, np.ndarray) else addresses)
+    if addrs.size == 0:
+        return 0
+    return int(np.unique(addrs // words_per_segment).size)
+
+
+def segments_touched_array(addresses: np.ndarray, words_per_segment: int) -> int:
+    """Vectorized :func:`segments_touched` for a numpy address array."""
+    if addresses.size == 0:
+        return 0
+    return int(np.unique(addresses // words_per_segment).size)
+
+
+def coalescing_efficiency(addresses: np.ndarray, words_per_segment: int) -> float:
+    """Fraction of moved bytes that were requested (1.0 = perfectly coalesced).
+
+    Returns 0.0 for an empty access.
+    """
+    if addresses.size == 0:
+        return 0.0
+    segs = segments_touched_array(addresses, words_per_segment)
+    requested = np.unique(addresses).size
+    return requested / (segs * words_per_segment)

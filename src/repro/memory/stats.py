@@ -1,0 +1,94 @@
+"""Access counters for the simulated global memory.
+
+The paper's motivation section (Fig. 1) and evaluation (Fig. 9, Fig. 12)
+report *memory instructions per request*; these counters are the ground
+truth those figures are computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MemoryStats:
+    """Mutable counters attached to a :class:`~repro.memory.arena.MemoryArena`.
+
+    ``reads``/``writes`` count *warp-level memory instructions* (one per
+    issued load/store, regardless of how many lanes participate when counted
+    through the SIMT engine, or one per logical word access when counted
+    scalar-side). ``read_words``/``write_words`` count the lanes (words)
+    touched. ``transactions`` counts 128-byte segments moved, i.e. the
+    coalescing-aware traffic the timing model charges for.
+    """
+
+    reads: int = 0
+    writes: int = 0
+    atomics: int = 0
+    read_words: int = 0
+    write_words: int = 0
+    transactions: int = 0
+    atomic_conflicts: int = 0
+    #: per-label breakdown (e.g. "traversal", "stm_meta", "lock") for reports
+    by_label: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def accesses(self) -> int:
+        """Total memory instructions (reads + writes + atomics)."""
+        return self.reads + self.writes + self.atomics
+
+    def add_label(self, label: str, count: int = 1) -> None:
+        self.by_label[label] = self.by_label.get(label, 0) + count
+
+    def reset(self) -> None:
+        self.reads = 0
+        self.writes = 0
+        self.atomics = 0
+        self.read_words = 0
+        self.write_words = 0
+        self.transactions = 0
+        self.atomic_conflicts = 0
+        self.by_label.clear()
+
+    def snapshot(self) -> "MemoryStats":
+        """Return an independent copy of the current counters."""
+        copy = MemoryStats(
+            reads=self.reads,
+            writes=self.writes,
+            atomics=self.atomics,
+            read_words=self.read_words,
+            write_words=self.write_words,
+            transactions=self.transactions,
+            atomic_conflicts=self.atomic_conflicts,
+        )
+        copy.by_label = dict(self.by_label)
+        return copy
+
+    def delta_since(self, earlier: "MemoryStats") -> "MemoryStats":
+        """Counters accumulated since ``earlier`` (a prior snapshot)."""
+        out = MemoryStats(
+            reads=self.reads - earlier.reads,
+            writes=self.writes - earlier.writes,
+            atomics=self.atomics - earlier.atomics,
+            read_words=self.read_words - earlier.read_words,
+            write_words=self.write_words - earlier.write_words,
+            transactions=self.transactions - earlier.transactions,
+            atomic_conflicts=self.atomic_conflicts - earlier.atomic_conflicts,
+        )
+        out.by_label = {
+            k: self.by_label.get(k, 0) - earlier.by_label.get(k, 0)
+            for k in set(self.by_label) | set(earlier.by_label)
+        }
+        return out
+
+    def merge(self, other: "MemoryStats") -> None:
+        """Accumulate ``other`` into this instance (for per-SM reduction)."""
+        self.reads += other.reads
+        self.writes += other.writes
+        self.atomics += other.atomics
+        self.read_words += other.read_words
+        self.write_words += other.write_words
+        self.transactions += other.transactions
+        self.atomic_conflicts += other.atomic_conflicts
+        for k, v in other.by_label.items():
+            self.add_label(k, v)

@@ -1,0 +1,14 @@
+"""Metrics: throughput, QoS (response-time variance), instruction profiles."""
+
+from .profile import InstructionProfile, ProfileTable
+from .qos import ResponseTimeStats, response_time_stats
+from .throughput import ThroughputResult, combine
+
+__all__ = [
+    "InstructionProfile",
+    "ProfileTable",
+    "ResponseTimeStats",
+    "ThroughputResult",
+    "combine",
+    "response_time_stats",
+]

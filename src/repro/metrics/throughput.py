@@ -1,0 +1,33 @@
+"""Throughput accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Requests processed per second for one measured run."""
+
+    requests: int
+    seconds: float
+
+    @property
+    def per_second(self) -> float:
+        return self.requests / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def mops(self) -> float:
+        """Millions of requests per second (the paper's Fig. 7 unit)."""
+        return self.per_second / 1e6
+
+    def describe(self) -> str:
+        return f"{self.mops:,.1f} Mreq/s ({self.requests} requests in {self.seconds:.3e} s)"
+
+
+def combine(results: list[ThroughputResult]) -> ThroughputResult:
+    """Aggregate several batches into one throughput figure."""
+    return ThroughputResult(
+        requests=sum(r.requests for r in results),
+        seconds=sum(r.seconds for r in results),
+    )

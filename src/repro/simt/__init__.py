@@ -1,0 +1,40 @@
+"""SIMT execution simulator: warps, lockstep stepping, counters, timing."""
+
+from .counters import KernelCounters
+from .instructions import (
+    Alu,
+    AtomicAdd,
+    AtomicCAS,
+    AtomicExch,
+    Branch,
+    Load,
+    Mark,
+    Noop,
+    Op,
+    Store,
+    op_kind,
+)
+from .launcher import KernelLaunch
+from .timing import CostModel, PhaseTime
+from .warp import Lane, Warp, run_subroutine
+
+__all__ = [
+    "Alu",
+    "AtomicAdd",
+    "AtomicCAS",
+    "AtomicExch",
+    "Branch",
+    "CostModel",
+    "KernelCounters",
+    "KernelLaunch",
+    "Lane",
+    "Load",
+    "Mark",
+    "Noop",
+    "Op",
+    "PhaseTime",
+    "Store",
+    "Warp",
+    "op_kind",
+    "run_subroutine",
+]

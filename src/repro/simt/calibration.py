@@ -1,0 +1,94 @@
+"""Cross-engine calibration: SIMT-measured costs vs the vector event model.
+
+The vector engine converts counted events to instructions with the shared
+per-event weights of :class:`repro.baselines.model.InstModel` and one
+temporal-overlap constant. This module runs the *same workload* through
+both engines for every system and reports measured/modelled ratios — the
+check that no system's vector numbers drift away from what its instruction
+stream actually does. EXPERIMENTS.md records a calibration run; the test
+suite asserts the ratios stay within a factor-2 band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..config import DeviceConfig, TreeConfig
+from ..factory import make_system
+from ..workloads import YcsbWorkload, build_key_pool
+
+
+@dataclass
+class CalibrationRow:
+    system: str
+    metric: str
+    simt: float
+    vector: float
+
+    @property
+    def ratio(self) -> float:
+        return self.simt / self.vector if self.vector else float("inf")
+
+
+@dataclass
+class CalibrationReport:
+    rows: list[CalibrationRow] = field(default_factory=list)
+
+    def add(self, system: str, metric: str, simt: float, vector: float) -> None:
+        self.rows.append(CalibrationRow(system, metric, simt, vector))
+
+    def worst_ratio(self, metric: str | None = None) -> float:
+        """Largest deviation from 1.0 (as max(r, 1/r)) over selected rows."""
+        worst = 1.0
+        for row in self.rows:
+            if metric and row.metric != metric:
+                continue
+            if row.vector <= 0 or row.simt <= 0:
+                continue
+            r = row.ratio
+            worst = max(worst, r if r >= 1 else 1 / r)
+        return worst
+
+    def render(self) -> str:
+        lines = ["=== SIMT vs vector-model calibration (ratio = measured/modelled) ==="]
+        lines.append(f"{'system':<14}{'metric':<16}{'simt':>12}{'vector':>12}{'ratio':>9}")
+        for row in self.rows:
+            lines.append(
+                f"{row.system:<14}{row.metric:<16}{row.simt:>12.3f}"
+                f"{row.vector:>12.3f}{row.ratio:>9.3f}"
+            )
+        return "\n".join(lines)
+
+
+def calibrate(
+    tree_size: int = 2**12,
+    batch_size: int = 2**11,
+    fanout: int = 32,
+    num_sms: int = 8,
+    seed: int = 42,
+    systems: tuple[str, ...] = ("nocc", "stm", "lock", "eirene"),
+) -> CalibrationReport:
+    """Run one identical batch through both engines for each system."""
+    report = CalibrationReport()
+    for name in systems:
+        metrics: dict[str, dict[str, float]] = {}
+        for engine in ("simt", "vector"):
+            rng = np.random.default_rng(seed)
+            keys, values = build_key_pool(tree_size, rng)
+            sys_ = make_system(
+                name, keys, values,
+                tree_config=TreeConfig(fanout=fanout),
+                device=DeviceConfig(num_sms=num_sms),
+            )
+            batch = YcsbWorkload(pool=keys).generate(batch_size, rng)
+            out = sys_.process_batch(batch, engine=engine)
+            metrics[engine] = {
+                "mem_inst/req": out.mem_inst_per_request,
+                "ctrl_inst/req": out.control_inst_per_request,
+                "steps/req": out.traversal_steps,
+            }
+        for metric in ("mem_inst/req", "ctrl_inst/req", "steps/req"):
+            report.add(name, metric, metrics["simt"][metric], metrics["vector"][metric])
+    return report

@@ -1,0 +1,83 @@
+"""Per-kernel instruction and timing counters.
+
+These are the simulator's equivalent of the paper's Nsight Compute metrics:
+``memory_inst`` and ``control_inst`` per request (Figs. 1, 9, 12), plus the
+per-request completion cycles that response-time variance (Figs. 2, 8) is
+computed from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class KernelCounters:
+    """Counters for one kernel launch (or several merged launches)."""
+
+    n_requests: int
+    #: per-lane-executed instruction totals (the paper's per-thread metrics)
+    mem_inst: int = 0
+    control_inst: int = 0
+    alu_inst: int = 0
+    atomic_inst: int = 0
+    #: warp-level issue slots (timing), memory transactions (timing)
+    issued_slots: int = 0
+    transactions: int = 0
+    atomic_conflicts: int = 0
+    divergent_slots: int = 0
+    #: completion cycle per request id (NaN until retired)
+    finish_cycle: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: per-request service time in lockstep slots the owning lane was live
+    #: between Marks — the per-request work measure QoS variance comes from
+    service_steps: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    #: total device cycles of the launch (max over SMs)
+    cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.finish_cycle.size == 0:
+            self.finish_cycle = np.full(self.n_requests, np.nan)
+        if self.service_steps.size == 0:
+            self.service_steps = np.full(self.n_requests, np.nan)
+
+    # -- derived per-request metrics ------------------------------------ #
+    @property
+    def mem_inst_per_request(self) -> float:
+        return self.mem_inst / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def control_inst_per_request(self) -> float:
+        return self.control_inst / self.n_requests if self.n_requests else 0.0
+
+    @property
+    def total_inst(self) -> int:
+        return self.mem_inst + self.control_inst + self.alu_inst + self.atomic_inst
+
+    def merge(self, other: "KernelCounters") -> "KernelCounters":
+        """Combine two launches over the same request id space."""
+        if other.n_requests != self.n_requests:
+            raise ValueError("cannot merge counters over different request spaces")
+        out = KernelCounters(n_requests=self.n_requests)
+        out.mem_inst = self.mem_inst + other.mem_inst
+        out.control_inst = self.control_inst + other.control_inst
+        out.alu_inst = self.alu_inst + other.alu_inst
+        out.atomic_inst = self.atomic_inst + other.atomic_inst
+        out.issued_slots = self.issued_slots + other.issued_slots
+        out.transactions = self.transactions + other.transactions
+        out.atomic_conflicts = self.atomic_conflicts + other.atomic_conflicts
+        out.divergent_slots = self.divergent_slots + other.divergent_slots
+        out.cycles = self.cycles + other.cycles
+        # a request retired in either launch keeps its (shifted) retire time;
+        # the second launch is assumed to start after the first completes
+        fc = self.finish_cycle.copy()
+        shifted = other.finish_cycle + self.cycles
+        take = np.isnan(fc) & ~np.isnan(other.finish_cycle)
+        fc[take] = shifted[take]
+        out.finish_cycle = fc
+        ss = self.service_steps.copy()
+        take = np.isnan(ss) & ~np.isnan(other.service_steps)
+        ss[take] = other.service_steps[take]
+        out.service_steps = ss
+        return out

@@ -1,0 +1,217 @@
+"""Lockstep warp executor.
+
+A :class:`Warp` holds up to ``warp_size`` lanes, each an independent thread
+program (generator). :meth:`Warp.step` advances every active lane by one
+instruction slot, performs the memory/atomic operations against the arena,
+and charges counters:
+
+* per-lane executed instructions (memory / control / ALU / atomic) — the
+  paper's per-thread Nsight metrics;
+* warp-level *issue slots*: lanes executing the same op kind in a slot issue
+  together; distinct kinds serialize (the divergence model);
+* memory *transactions* via the 128-byte coalescing model — one warp load
+  costs as many transactions as distinct segments its lanes touch.
+
+Atomics execute immediately in lane order (the sequential interpreter makes
+them trivially atomic); a CAS that observes a value different from
+``expected`` counts as an atomic conflict, which the timing model surcharges
+— that is where lock contention and STM ownership churn show up in time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Generator
+
+import numpy as np
+
+from ..errors import SimulationError
+from ..memory import MemoryArena
+from .counters import KernelCounters
+from .instructions import (
+    Alu,
+    AtomicAdd,
+    AtomicCAS,
+    AtomicExch,
+    Branch,
+    Load,
+    Mark,
+    Noop,
+    Op,
+    Store,
+)
+
+
+class Lane:
+    """One thread: a program generator plus its in-flight state."""
+
+    __slots__ = ("gen", "active", "send_value", "result", "steps", "mark_base")
+
+    def __init__(self, gen: Generator) -> None:
+        self.gen = gen
+        self.active = True
+        self.send_value: int | None = None
+        self.result: object = None
+        #: lockstep slots this lane has executed (service-time accounting)
+        self.steps = 0
+        #: slot count at the lane's previous Mark (per-request service delta)
+        self.mark_base = 0
+
+
+class Warp:
+    """A cohort of lanes executing in lockstep."""
+
+    def __init__(self, programs: list[Generator], arena: MemoryArena, warp_size: int = 32):
+        if not programs:
+            raise SimulationError("a warp needs at least one lane")
+        if len(programs) > warp_size:
+            raise SimulationError(f"warp overfull: {len(programs)} > {warp_size}")
+        self.lanes = [Lane(g) for g in programs]
+        self.arena = arena
+        self.words_per_segment = arena.words_per_segment
+        self.active = True
+        #: warp-shared scratch (models shared memory, e.g. the §5 iteration
+        #: warp buffer); populated by the kernel code that built this warp.
+        self.shared: dict = {}
+
+    def step(self, counters: KernelCounters, cycle: float) -> tuple[int, int, int]:
+        """Advance every active lane one slot.
+
+        Returns ``(issue_slots, transactions, atomic_conflicts)`` for the
+        timing model. Marks the warp inactive when all lanes finished.
+        """
+        data = self.arena.data
+        size = data.size
+        load_addrs: list[int] = []
+        store_addrs: list[int] = []
+        kinds = 0  # bitmask of op kinds present in this slot
+        transactions = 0
+        atomic_conflicts = 0
+        any_active = False
+
+        for lane in self.lanes:
+            if not lane.active:
+                continue
+            try:
+                op: Op = lane.gen.send(lane.send_value)
+            except StopIteration as stop:
+                lane.active = False
+                lane.result = stop.value
+                continue
+            any_active = True
+            lane.send_value = None
+            lane.steps += 1
+            t = type(op)
+            if t is Load:
+                addr = op.addr
+                if not 0 <= addr < size:
+                    raise SimulationError(f"load address {addr} out of bounds")
+                lane.send_value = int(data[addr])
+                load_addrs.append(addr)
+                counters.mem_inst += 1
+                kinds |= 1
+            elif t is Branch:
+                counters.control_inst += 1
+                kinds |= 16
+            elif t is Alu:
+                counters.alu_inst += op.count
+                kinds |= 8
+            elif t is Store:
+                addr = op.addr
+                if not 0 <= addr < size:
+                    raise SimulationError(f"store address {addr} out of bounds")
+                data[addr] = op.value
+                store_addrs.append(addr)
+                counters.mem_inst += 1
+                kinds |= 2
+            elif t is AtomicCAS:
+                old = int(data[op.addr])
+                if old == op.expected:
+                    data[op.addr] = op.desired
+                else:
+                    atomic_conflicts += 1
+                lane.send_value = old
+                counters.atomic_inst += 1
+                transactions += 1
+                kinds |= 4
+            elif t is AtomicAdd:
+                old = int(data[op.addr])
+                data[op.addr] = old + op.delta
+                lane.send_value = old
+                counters.atomic_inst += 1
+                transactions += 1
+                kinds |= 4
+            elif t is AtomicExch:
+                old = int(data[op.addr])
+                data[op.addr] = op.value
+                lane.send_value = old
+                counters.atomic_inst += 1
+                transactions += 1
+                kinds |= 4
+            elif t is Mark:
+                counters.finish_cycle[op.request_id] = cycle
+                counters.service_steps[op.request_id] = lane.steps - lane.mark_base
+                lane.mark_base = lane.steps
+                kinds |= 32
+            elif t is Noop:
+                # barrier wait: costs nothing (predicated-off lane) and does
+                # not count toward the lane's per-request service time
+                lane.steps -= 1
+            else:
+                raise SimulationError(f"unknown op {op!r}")
+
+        if load_addrs:
+            transactions += self._segments(load_addrs)
+        if store_addrs:
+            transactions += self._segments(store_addrs)
+        issue_slots = bin(kinds).count("1")
+        if issue_slots > 1:
+            counters.divergent_slots += issue_slots - 1
+        counters.issued_slots += issue_slots
+        counters.transactions += transactions
+        counters.atomic_conflicts += atomic_conflicts
+        if not any_active:
+            self.active = False
+        return issue_slots, transactions, atomic_conflicts
+
+    def _segments(self, addrs: list[int]) -> int:
+        wps = self.words_per_segment
+        return len({a // wps for a in addrs})
+
+    def results(self) -> list[object]:
+        """Return values of all lane programs (after the warp retired)."""
+        return [lane.result for lane in self.lanes]
+
+
+def run_subroutine(gen: Generator, arena: MemoryArena) -> object:
+    """Drive a single thread program to completion outside any warp.
+
+    Debug/teaching helper (and unit-test harness): executes the program's
+    memory ops directly, returns its return value. No counters are charged.
+    """
+    data = arena.data
+    send: int | None = None
+    while True:
+        try:
+            op = gen.send(send)
+        except StopIteration as stop:
+            return stop.value
+        send = None
+        t = type(op)
+        if t is Load:
+            send = int(data[op.addr])
+        elif t is Store:
+            data[op.addr] = op.value
+        elif t is AtomicCAS:
+            old = int(data[op.addr])
+            if old == op.expected:
+                data[op.addr] = op.desired
+            send = old
+        elif t is AtomicAdd:
+            old = int(data[op.addr])
+            data[op.addr] = old + op.delta
+            send = old
+        elif t is AtomicExch:
+            old = int(data[op.addr])
+            data[op.addr] = op.value
+            send = old
+        # Alu / Branch / Mark: no data effect

@@ -1,0 +1,7 @@
+"""Software transactional memory (Holey & Zhai-style eager GPU STM)."""
+
+from .device import DeviceStm
+from .stats import StmStats
+from .tm import FREE, StmRegion, TransactionManager, Tx
+
+__all__ = ["FREE", "DeviceStm", "StmRegion", "StmStats", "TransactionManager", "Tx"]

@@ -1,0 +1,126 @@
+"""Device-side STM: the transactional protocol as SIMT thread-program code.
+
+Same protocol as :class:`~repro.stm.tm.TransactionManager` (eager acquire,
+undo log, invisible readers with commit-time validation) but every metadata
+and data access is a yielded instruction, so ownership checks, version reads
+and CAS acquires are *counted* and genuinely interleave with other warps.
+
+Usage inside a thread program::
+
+    tx = stm.begin()
+    try:
+        val = yield from stm.d_read(tx, addr)
+        yield from stm.d_write(tx, addr, val + 1)
+        yield from stm.d_commit(tx)
+    except TransactionAborted:
+        ...retry...
+"""
+
+from __future__ import annotations
+
+from ..errors import TransactionAborted
+from ..memory import MemoryArena
+from ..simt.instructions import AtomicAdd, AtomicCAS, Branch, Load, Store
+from .stats import StmStats
+from .tm import FREE, StmRegion, Tx
+
+
+class DeviceStm:
+    """Shared-state STM instance used by all lanes of a kernel.
+
+    ``region`` and ``stats`` may be shared with a host-plane
+    :class:`~repro.stm.tm.TransactionManager` (the vector engine), so both
+    engines report into the same counters.
+    """
+
+    def __init__(self, arena: MemoryArena, region: StmRegion, stats: StmStats | None = None):
+        self.arena = arena
+        self.region = region
+        self.stats = stats if stats is not None else StmStats()
+        self._next_tid = 1
+        #: failure-injection hook: a callable evaluated on every
+        #: transactional read; returning True forces an abort (tests use
+        #: this to exercise retry paths deterministically).
+        self.abort_injector = None
+
+    def begin(self) -> Tx:
+        tx = Tx(tid=self._next_tid)
+        self._next_tid += 1
+        self.stats.begins += 1
+        return tx
+
+    # ------------------------------------------------------------------ #
+    def d_read(self, tx: Tx, addr: int):
+        """Transactional load (generator). Aborts on observing ownership."""
+        if self.abort_injector is not None and self.abort_injector():
+            self.stats.conflicts_rw += 1
+            yield from self.d_abort(tx, counted=False)
+            raise TransactionAborted("injected failure")
+        owner = yield Load(self.region.owner_addr(addr))
+        yield Branch()
+        if owner not in (FREE, tx.tid + 1):
+            self.stats.conflicts_rw += 1
+            yield from self.d_abort(tx, counted=False)
+            raise TransactionAborted("read of word owned by another tx")
+        if addr not in tx.writes and addr not in tx.read_versions:
+            ver = yield Load(self.region.version_addr(addr))
+            tx.read_versions[addr] = ver
+        value = yield Load(addr)
+        return value
+
+    def d_write(self, tx: Tx, addr: int, value: int):
+        """Transactional store (generator): eager CAS acquire + undo log."""
+        yield Branch()
+        if addr not in tx.writes:
+            old_owner = yield AtomicCAS(self.region.owner_addr(addr), FREE, tx.tid + 1)
+            yield Branch()
+            if old_owner not in (FREE, tx.tid + 1):
+                self.stats.conflicts_ww += 1
+                yield from self.d_abort(tx, counted=False)
+                raise TransactionAborted("write-write conflict")
+            tx.writes.add(addr)
+            old = yield Load(addr)
+            tx.undo_log[addr] = old
+        yield Store(addr, value)
+
+    def d_commit(self, tx: Tx):
+        """Validate read versions, publish, release (generator)."""
+        for addr, ver in tx.read_versions.items():
+            cur = yield Load(self.region.version_addr(addr))
+            yield Branch()
+            if cur != ver:
+                self.stats.conflicts_validation += 1
+                yield from self.d_abort(tx, counted=False)
+                raise TransactionAborted("read validation failed")
+        for addr in tx.writes:
+            yield AtomicAdd(self.region.version_addr(addr), 1)
+            yield Store(self.region.owner_addr(addr), FREE)
+        tx.active = False
+        self.stats.commits += 1
+
+    def d_abort(self, tx: Tx, counted: bool = True):
+        """Roll back and release (generator). ``counted`` aborts come from
+        the program (e.g. a failed leaf-version validation); internal aborts
+        triggered by a detected conflict pass ``counted=False`` because the
+        conflict counters were already charged."""
+        for addr, old in tx.undo_log.items():
+            yield Store(addr, old)
+        for addr in tx.writes:
+            yield Store(self.region.owner_addr(addr), FREE)
+        tx.active = False
+        self.stats.aborts += 1
+        if counted:
+            self.stats.conflicts_version += 1
+
+    # ------------------------------------------------------------------ #
+    def host_invalidate(self, addrs) -> None:
+        """Bump the STM version of every address in ``addrs`` (host plane).
+
+        Used after an instantaneous host-side structure modification (leaf
+        split executed under ownership of the leaf's count word): concurrent
+        transactions that read any of the modified words will fail commit
+        validation, exactly as if the split's stores had been transactional.
+        """
+        data = self.arena.data
+        for addr in addrs:
+            data[self.region.version_addr(addr)] += 1

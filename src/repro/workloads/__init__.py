@@ -1,0 +1,38 @@
+"""Workload generation: request batches, key distributions, YCSB mixes."""
+
+from .distributions import UniformKeys, ZipfianKeys, make_distribution
+from .requests import BatchResults, RequestBatch
+from .ycsb import (
+    PAPER_DEFAULT,
+    RANGE_4,
+    RANGE_8,
+    YCSB_A,
+    YCSB_B,
+    YCSB_C,
+    YCSB_D,
+    YCSB_E,
+    YCSB_F,
+    YcsbMix,
+    YcsbWorkload,
+    build_key_pool,
+)
+
+__all__ = [
+    "BatchResults",
+    "PAPER_DEFAULT",
+    "RANGE_4",
+    "RANGE_8",
+    "RequestBatch",
+    "UniformKeys",
+    "YCSB_A",
+    "YCSB_B",
+    "YCSB_C",
+    "YCSB_D",
+    "YCSB_E",
+    "YCSB_F",
+    "YcsbMix",
+    "YcsbWorkload",
+    "ZipfianKeys",
+    "build_key_pool",
+    "make_distribution",
+]

@@ -1,0 +1,62 @@
+"""Key distributions for workload generation.
+
+The paper's default is Uniform; YCSB's canonical skewed distribution is
+(scrambled) Zipfian, which we provide for skew-sensitivity studies — key
+conflicts, which combining eliminates, grow sharply with skew.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import WorkloadError
+
+
+class UniformKeys:
+    """Sample uniformly from a fixed key pool."""
+
+    def __init__(self, pool: np.ndarray) -> None:
+        if pool.size == 0:
+            raise WorkloadError("key pool must be non-empty")
+        self.pool = np.ascontiguousarray(pool, dtype=np.int64)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        return self.pool[rng.integers(0, self.pool.size, size=n)]
+
+
+class ZipfianKeys:
+    """Scrambled Zipfian over a key pool (YCSB's ``zipfian`` semantics).
+
+    Rank ``r`` (1-based) is drawn with probability proportional to
+    ``1 / r**theta``; ranks are scrambled over the pool with a fixed
+    permutation so hot keys are spread across the key space (and hence
+    across B+tree leaves), as in YCSB's ScrambledZipfianGenerator.
+    """
+
+    def __init__(self, pool: np.ndarray, theta: float = 0.99, seed: int = 0x5EED) -> None:
+        if pool.size == 0:
+            raise WorkloadError("key pool must be non-empty")
+        if not 0.0 < theta < 1.0:
+            raise WorkloadError(f"zipfian theta must be in (0, 1), got {theta}")
+        self.pool = np.ascontiguousarray(pool, dtype=np.int64)
+        self.theta = theta
+        ranks = np.arange(1, self.pool.size + 1, dtype=np.float64)
+        weights = ranks ** (-theta)
+        self._cdf = np.cumsum(weights)
+        self._cdf /= self._cdf[-1]
+        scramble_rng = np.random.default_rng(seed)
+        self._perm = scramble_rng.permutation(self.pool.size)
+
+    def sample(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        u = rng.random(n)
+        ranks = np.searchsorted(self._cdf, u, side="left")
+        return self.pool[self._perm[ranks]]
+
+
+def make_distribution(name: str, pool: np.ndarray, **kwargs) -> UniformKeys | ZipfianKeys:
+    """Factory: ``"uniform"`` or ``"zipfian"`` (with optional ``theta``)."""
+    if name == "uniform":
+        return UniformKeys(pool)
+    if name == "zipfian":
+        return ZipfianKeys(pool, **kwargs)
+    raise WorkloadError(f"unknown distribution {name!r}")

@@ -1,0 +1,136 @@
+"""YCSB-style workload generation (Cooper et al., SoCC'10).
+
+The paper evaluates with YCSB request mixes over a pre-built tree: the
+default is 95% query / 5% update with uniformly distributed 32-bit keys
+(§8.1); the range experiment (Fig. 13) uses 100% range queries of length 4
+or 8. :class:`YcsbWorkload` generates request batches with those mixes and
+also provides the canonical YCSB A–F presets for the examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .._types import KIND_DTYPE, OpKind
+from ..errors import WorkloadError
+from .distributions import make_distribution
+from .requests import RequestBatch
+
+
+@dataclass(frozen=True)
+class YcsbMix:
+    """Operation mix; ratios must sum to 1."""
+
+    query: float = 0.95
+    update: float = 0.05
+    insert: float = 0.0
+    delete: float = 0.0
+    range_: float = 0.0
+    range_length: int = 4
+
+    def __post_init__(self) -> None:
+        total = self.query + self.update + self.insert + self.delete + self.range_
+        if abs(total - 1.0) > 1e-9:
+            raise WorkloadError(f"mix ratios sum to {total}, expected 1.0")
+        if min(self.query, self.update, self.insert, self.delete, self.range_) < 0:
+            raise WorkloadError("mix ratios must be non-negative")
+        if self.range_length < 1:
+            raise WorkloadError("range_length must be >= 1")
+
+
+#: the paper's default workload: 95% query / 5% update, uniform keys (§8.1)
+PAPER_DEFAULT = YcsbMix()
+
+#: canonical YCSB core workloads (F's read-modify-write = query + update)
+YCSB_A = YcsbMix(query=0.5, update=0.5)
+YCSB_B = YcsbMix(query=0.95, update=0.05)
+YCSB_C = YcsbMix(query=1.0, update=0.0)
+YCSB_D = YcsbMix(query=0.95, update=0.0, insert=0.05)
+YCSB_E = YcsbMix(query=0.0, update=0.0, insert=0.05, range_=0.95)
+YCSB_F = YcsbMix(query=0.5, update=0.5)
+
+#: Fig. 13 workloads: pure range queries of length 4 and 8
+RANGE_4 = YcsbMix(query=0.0, update=0.0, range_=1.0, range_length=4)
+RANGE_8 = YcsbMix(query=0.0, update=0.0, range_=1.0, range_length=8)
+
+
+@dataclass
+class YcsbWorkload:
+    """Batch generator over a fixed key pool.
+
+    ``pool`` holds the keys loaded into the tree; queries/updates/deletes
+    target pool keys, inserts draw fresh keys from the gaps of the key
+    space (or overwrite, which the update-class upsert semantics allow).
+    """
+
+    pool: np.ndarray
+    mix: YcsbMix = field(default_factory=lambda: PAPER_DEFAULT)
+    distribution: str = "uniform"
+    key_space: int | None = None
+    theta: float = 0.99
+    value_bits: int = 31
+
+    def __post_init__(self) -> None:
+        self.pool = np.ascontiguousarray(self.pool, dtype=np.int64)
+        if self.pool.size == 0:
+            raise WorkloadError("key pool must be non-empty")
+        if self.key_space is None:
+            self.key_space = int(self.pool.max()) + 1
+        kwargs = {"theta": self.theta} if self.distribution == "zipfian" else {}
+        self._dist = make_distribution(self.distribution, self.pool, **kwargs)
+
+    def generate(self, batch_size: int, rng: np.random.Generator) -> RequestBatch:
+        """One buffered batch of ``batch_size`` requests in arrival order."""
+        if batch_size < 1:
+            raise WorkloadError("batch_size must be >= 1")
+        m = self.mix
+        u = rng.random(batch_size)
+        edges = np.cumsum([m.query, m.update, m.insert, m.delete, m.range_])
+        kinds = np.empty(batch_size, dtype=KIND_DTYPE)
+        kinds[u < edges[0]] = OpKind.QUERY
+        kinds[(u >= edges[0]) & (u < edges[1])] = OpKind.UPDATE
+        kinds[(u >= edges[1]) & (u < edges[2])] = OpKind.INSERT
+        kinds[(u >= edges[2]) & (u < edges[3])] = OpKind.DELETE
+        kinds[u >= edges[3]] = OpKind.RANGE
+
+        keys = self._dist.sample(batch_size, rng)
+        insert_mask = kinds == OpKind.INSERT
+        n_ins = int(insert_mask.sum())
+        if n_ins:
+            keys[insert_mask] = rng.integers(0, self.key_space, size=n_ins)
+
+        values = rng.integers(1, 1 << self.value_bits, size=batch_size)
+        values[(kinds != OpKind.UPDATE) & (kinds != OpKind.INSERT)] = 0
+
+        ends = np.zeros(batch_size, dtype=np.int64)
+        range_mask = kinds == OpKind.RANGE
+        if np.any(range_mask):
+            # a length-L range covers ~L pool keys: scale the span by the
+            # average key gap so range results match the nominal length
+            gap = max(1, self.key_space // self.pool.size)
+            ends[range_mask] = keys[range_mask] + m.range_length * gap - 1
+        return RequestBatch(
+            kinds=kinds, keys=keys, values=values.astype(np.int64), range_ends=ends
+        )
+
+    def generate_epoch(
+        self, n_batches: int, batch_size: int, rng: np.random.Generator
+    ) -> list[RequestBatch]:
+        """Several consecutive batches (multi-batch experiments)."""
+        return [self.generate(batch_size, rng) for _ in range(n_batches)]
+
+
+def build_key_pool(tree_size: int, rng: np.random.Generator, key_space_factor: int = 8):
+    """Sample ``tree_size`` distinct keys from a key space ``factor``× larger.
+
+    Mirrors the paper's setup of a 32-bit key space populated with 2^k
+    records; returns (keys, values) ready for ``BPlusTree.build``.
+    """
+    if tree_size < 1:
+        raise WorkloadError("tree_size must be >= 1")
+    space = tree_size * key_space_factor
+    keys = rng.choice(space, size=tree_size, replace=False).astype(np.int64)
+    values = rng.integers(1, 1 << 31, size=tree_size).astype(np.int64)
+    return np.sort(keys), values

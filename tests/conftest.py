@@ -1,0 +1,57 @@
+"""Shared fixtures: small trees, systems, batches, rngs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import DeviceConfig, TreeConfig, YcsbWorkload, build_key_pool, make_system
+from repro.btree import BPlusTree
+from repro.memory import MemoryArena
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_device() -> DeviceConfig:
+    """Scaled device used throughout the tests (see DESIGN.md scaling)."""
+    return DeviceConfig(num_sms=4)
+
+
+@pytest.fixture
+def tree_kv(rng) -> tuple[np.ndarray, np.ndarray]:
+    keys, values = build_key_pool(2**10, rng)
+    return keys, values
+
+
+@pytest.fixture
+def small_tree(tree_kv) -> BPlusTree:
+    keys, values = tree_kv
+    return BPlusTree.build(keys, values, TreeConfig(fanout=8))
+
+
+@pytest.fixture
+def arena() -> MemoryArena:
+    return MemoryArena(4096)
+
+
+@pytest.fixture
+def workload(tree_kv) -> YcsbWorkload:
+    keys, _ = tree_kv
+    return YcsbWorkload(pool=keys)
+
+
+def make_test_system(name: str, rng, tree_size: int = 2**10, fanout: int = 8, **kwargs):
+    """Build a system over a fresh pool (non-fixture helper for parametrize)."""
+    keys, values = build_key_pool(tree_size, rng)
+    return make_system(
+        name,
+        keys,
+        values,
+        tree_config=TreeConfig(fanout=fanout),
+        device=DeviceConfig(num_sms=4),
+        **kwargs,
+    ), keys

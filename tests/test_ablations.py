@@ -1,0 +1,39 @@
+"""Smoke tests for the ablation harness (cheap configs)."""
+
+from repro.harness import (
+    ExperimentConfig,
+    ablate_iteration_depth,
+    ablate_retry_threshold,
+    ablate_rf_decision,
+    ablate_skew,
+)
+
+CHEAP = ExperimentConfig(tree_size=2**11, batch_size=2**10, n_batches=1, num_sms=4)
+CHEAP_SIMT = CHEAP.with_(engine="simt", batch_size=2**9)
+
+
+def test_retry_threshold_sweep_runs():
+    fig = ablate_retry_threshold(CHEAP_SIMT, thresholds=(0, 3))
+    assert len(fig.rows) == 2
+    assert fig.value("threshold=0", "Mreq/s") > 0
+
+
+def test_iteration_depth_sweep_runs():
+    fig = ablate_iteration_depth(CHEAP, depths=(1, 4))
+    assert fig.value("depth=4", "traversal_steps") <= fig.value(
+        "depth=1", "traversal_steps"
+    )
+
+
+def test_rf_decision_sweep_runs():
+    fig = ablate_rf_decision(CHEAP.with_(tree_size=2**13, batch_size=2**9))
+    assert fig.value("always horizontal", "traversal_steps") >= fig.value(
+        "RF decision on", "traversal_steps"
+    )
+
+
+def test_skew_sweep_runs():
+    fig = ablate_skew(CHEAP_SIMT, thetas=(0.0, 0.99))
+    assert fig.value("theta=0.99", "combined_frac") > fig.value(
+        "theta=0.0", "combined_frac"
+    )

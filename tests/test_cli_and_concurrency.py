@@ -1,0 +1,90 @@
+"""CLI smoke tests and concurrency invariants under the SIMT engine."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DeviceConfig,
+    TreeConfig,
+    YcsbMix,
+    YcsbWorkload,
+    build_key_pool,
+    make_system,
+)
+from repro.harness.__main__ import RUNNERS, build_parser, main
+from repro.stm import FREE
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig07" in out and "ablation-skew" in out
+
+    def test_parser_rejects_unknown_target(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig99"])
+
+    def test_runner_table_covers_every_paper_figure(self):
+        for fig in ("fig01", "fig02", "fig07", "fig08", "fig09", "fig10",
+                    "fig11", "fig12", "fig13"):
+            assert fig in RUNNERS
+
+    def test_small_figure_run(self, capsys):
+        code = main(["fig01", "--tree-size", "10", "--batch-size", "9",
+                     "--batches", "1", "--fanout", "16", "--sms", "4"])
+        assert code == 0
+        assert "Fig. 1" in capsys.readouterr().out
+
+
+class TestConcurrencyInvariants:
+    """Global invariants that must hold after any SIMT batch."""
+
+    def _run(self, name, mix, rng):
+        keys, values = build_key_pool(512, rng)
+        sys_ = make_system(
+            name, keys, values,
+            tree_config=TreeConfig(fanout=8, arena_headroom=4.0),
+            device=DeviceConfig(num_sms=4),
+        )
+        batch = YcsbWorkload(pool=keys, mix=mix).generate(384, rng)
+        out = sys_.process_batch(batch, engine="simt")
+        return sys_, out
+
+    def test_lock_acquires_match_releases(self, rng):
+        sys_, _ = self._run("lock", YcsbMix(query=0.6, update=0.4), rng)
+        stats = sys_.latches.stats
+        assert stats.acquires == stats.releases
+        # no latch word left held anywhere in the node arena
+        from repro.btree.layout import OFF_LOCK
+
+        lay = sys_.tree.layout
+        held = [
+            n for n in range(sys_.tree.node_count)
+            if sys_.tree.arena.data[lay.addr(n, OFF_LOCK)] != FREE
+        ]
+        assert held == []
+
+    def test_stm_ownership_fully_released(self, rng):
+        sys_, _ = self._run("stm", YcsbMix(query=0.5, update=0.3, insert=0.2), rng)
+        region = sys_.stm.region
+        owners = sys_.tree.arena.data[
+            region.owner_base : region.owner_base + region.nwords
+        ]
+        assert np.count_nonzero(owners) == 0
+        assert sys_.stm.stats.begins == sys_.stm.stats.commits + sys_.stm.stats.aborts
+
+    def test_eirene_smo_latch_released(self, rng):
+        sys_, _ = self._run("eirene", YcsbMix(query=0.4, update=0.2, insert=0.4), rng)
+        assert sys_.tree.arena.data[sys_.smo_lock_addr] == FREE
+        region = sys_.stm.region
+        owners = sys_.tree.arena.data[
+            region.owner_base : region.owner_base + region.nwords
+        ]
+        assert np.count_nonzero(owners) == 0
+
+    def test_every_request_retires_exactly_once(self, rng):
+        _, out = self._run("eirene", YcsbMix(query=0.9, update=0.1), rng)
+        # every issued request got a finish cycle; unissued stay NaN
+        finished = np.isfinite(out.counters.finish_cycle)
+        assert finished.sum() == out.extras["plan"].n_runs

@@ -1,0 +1,120 @@
+"""End-to-end property test: Eirene on a real tree is linearizable.
+
+Unlike tests/test_combining.py (which checks the combining *logic* against
+a dict model), this drives the full EireneTree — real B+tree, real kernels,
+real RESULT_CAL — under hypothesis-generated batches, on both engines.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    DeviceConfig,
+    OpKind,
+    TreeConfig,
+    build_key_pool,
+    check_linearizable,
+    make_system,
+)
+from repro.lincheck import SequentialReference
+from repro.workloads import RequestBatch
+
+KEY_SPACE = 48
+
+
+@st.composite
+def batches(draw):
+    n = draw(st.integers(1, 64))
+    ops = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(list(OpKind)))
+        key = draw(st.integers(0, KEY_SPACE - 1))
+        if kind in (OpKind.UPDATE, OpKind.INSERT):
+            ops.append((kind, key, draw(st.integers(1, 500))))
+        elif kind == OpKind.RANGE:
+            ops.append((kind, key, draw(st.integers(key, KEY_SPACE + 4))))
+        else:
+            ops.append((kind, key))
+    return ops
+
+
+def fresh_system():
+    keys = np.arange(0, KEY_SPACE, 3, dtype=np.int64)
+    values = keys * 7 + 1
+    sys_ = make_system(
+        "eirene", keys, values,
+        tree_config=TreeConfig(fanout=4, arena_headroom=8.0),
+        device=DeviceConfig(num_sms=2),
+    )
+    return sys_, SequentialReference(keys, values)
+
+
+class TestEireneEndToEnd:
+    @given(batches())
+    @settings(max_examples=50, deadline=None)
+    def test_vector_engine_linearizable(self, ops):
+        sys_, ref = fresh_system()
+        batch = RequestBatch.from_ops(ops)
+        expected = ref.execute(batch)
+        out = sys_.process_batch(batch, engine="vector")
+        rep = check_linearizable(
+            batch, out.results, expected,
+            got_items=sys_.tree.items(), expected_items=ref.items(),
+        )
+        assert rep.ok, rep.describe(batch)
+        sys_.tree.validate()
+
+    @given(batches())
+    @settings(max_examples=25, deadline=None)
+    def test_simt_engine_linearizable(self, ops):
+        sys_, ref = fresh_system()
+        batch = RequestBatch.from_ops(ops)
+        expected = ref.execute(batch)
+        out = sys_.process_batch(batch, engine="simt")
+        rep = check_linearizable(
+            batch, out.results, expected,
+            got_items=sys_.tree.items(), expected_items=ref.items(),
+        )
+        assert rep.ok, rep.describe(batch)
+        sys_.tree.validate()
+
+    @given(st.lists(batches(), min_size=2, max_size=3))
+    @settings(max_examples=15, deadline=None)
+    def test_vector_engine_multibatch(self, batch_ops):
+        sys_, ref = fresh_system()
+        for ops in batch_ops:
+            batch = RequestBatch.from_ops(ops)
+            expected = ref.execute(batch)
+            out = sys_.process_batch(batch, engine="vector")
+            rep = check_linearizable(batch, out.results, expected)
+            assert rep.ok, rep.describe(batch)
+        gk, gv = sys_.tree.items()
+        ek, ev = ref.items()
+        assert np.array_equal(gk, ek) and np.array_equal(gv, ev)
+
+    def test_cross_engine_results_agree(self):
+        """Same batch, two engines, two fresh trees: identical results
+        (both are linearizable, so both must equal the reference)."""
+        rng = np.random.default_rng(123)
+        ops = []
+        for _ in range(200):
+            kind = OpKind(int(rng.integers(0, 5)))
+            key = int(rng.integers(0, KEY_SPACE))
+            if kind in (OpKind.UPDATE, OpKind.INSERT):
+                ops.append((kind, key, int(rng.integers(1, 500))))
+            elif kind == OpKind.RANGE:
+                ops.append((kind, key, key + int(rng.integers(0, 6))))
+            else:
+                ops.append((kind, key))
+        batch = RequestBatch.from_ops(ops)
+        sys_v, _ = fresh_system()
+        sys_s, _ = fresh_system()
+        out_v = sys_v.process_batch(batch, engine="vector")
+        out_s = sys_s.process_batch(batch, engine="simt")
+        assert np.array_equal(out_v.results.values, out_s.results.values)
+        for i in np.flatnonzero(batch.kinds == OpKind.RANGE):
+            kv, vv = out_v.results.range_result(int(i))
+            ks, vs = out_s.results.range_result(int(i))
+            assert np.array_equal(kv, ks) and np.array_equal(vv, vs)

@@ -1,0 +1,174 @@
+"""Unit + property tests for the GPU primitives (scan, radix sort, compaction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpuprims import (
+    RadixWork,
+    ScanWork,
+    compact_indices,
+    exclusive_scan,
+    expand_runs,
+    inclusive_scan,
+    radix_argsort,
+    radix_sort_pairs,
+    run_heads,
+    run_lengths,
+    segment_ids,
+    segmented_exclusive_scan,
+    significant_passes,
+)
+
+int_arrays = st.lists(st.integers(min_value=0, max_value=2**40), min_size=0, max_size=300)
+
+
+class TestScan:
+    def test_exclusive_scan_basic(self):
+        out = exclusive_scan(np.array([3, 1, 7, 0, 4]))
+        assert np.array_equal(out, [0, 3, 4, 11, 11])
+
+    def test_inclusive_scan_basic(self):
+        out = inclusive_scan(np.array([3, 1, 7, 0, 4]))
+        assert np.array_equal(out, [3, 4, 11, 11, 15])
+
+    def test_empty(self):
+        assert exclusive_scan(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_single_element(self):
+        assert np.array_equal(exclusive_scan(np.array([5])), [0])
+
+    def test_non_power_of_two_lengths(self):
+        for n in (3, 5, 17, 100, 1023):
+            x = np.arange(n)
+            assert np.array_equal(exclusive_scan(x), np.concatenate([[0], np.cumsum(x)[:-1]]))
+
+    @given(int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_exclusive_scan_matches_cumsum(self, xs):
+        x = np.array(xs, dtype=np.int64)
+        got = exclusive_scan(x)
+        ref = np.concatenate([[0], np.cumsum(x)[:-1]]) if x.size else x
+        assert np.array_equal(got, ref)
+
+    def test_work_accounting(self):
+        w = ScanWork()
+        exclusive_scan(np.arange(64), w)
+        assert w.n == 64
+        assert w.levels == 12  # 6 up-sweep + 6 down-sweep
+        assert w.element_ops > 0
+
+    def test_segmented_scan(self):
+        vals = np.array([1, 1, 1, 1, 1, 1])
+        heads = np.array([True, False, False, True, False, False])
+        out = segmented_exclusive_scan(vals, heads)
+        assert np.array_equal(out, [0, 1, 2, 0, 1, 2])
+
+    def test_segmented_scan_requires_leading_head(self):
+        with pytest.raises(ValueError):
+            segmented_exclusive_scan(np.array([1, 2]), np.array([False, True]))
+
+    def test_segmented_scan_length_mismatch(self):
+        with pytest.raises(ValueError):
+            segmented_exclusive_scan(np.array([1]), np.array([True, False]))
+
+    def test_segment_ids(self):
+        heads = np.array([True, False, True, True, False])
+        assert np.array_equal(segment_ids(heads), [0, 0, 1, 2, 2])
+
+
+class TestRadixSort:
+    def test_sorted_output(self):
+        rng = np.random.default_rng(0)
+        keys = rng.integers(0, 2**32, size=1000)
+        perm = radix_argsort(keys)
+        assert np.all(np.diff(keys[perm]) >= 0)
+
+    def test_stability(self):
+        keys = np.array([5, 3, 5, 3, 5], dtype=np.int64)
+        perm = radix_argsort(keys)
+        # ties keep input order
+        assert np.array_equal(perm, [1, 3, 0, 2, 4])
+
+    def test_matches_numpy_stable_argsort(self):
+        rng = np.random.default_rng(1)
+        keys = rng.integers(0, 50, size=2000)  # many duplicates
+        assert np.array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    @given(int_arrays)
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_numpy(self, xs):
+        keys = np.array(xs, dtype=np.int64)
+        assert np.array_equal(radix_argsort(keys), np.argsort(keys, kind="stable"))
+
+    def test_empty(self):
+        assert radix_argsort(np.zeros(0, dtype=np.int64)).size == 0
+
+    def test_negative_keys_rejected(self):
+        with pytest.raises(ValueError):
+            radix_argsort(np.array([-1, 2]))
+
+    def test_significant_passes_skips_zero_digits(self):
+        assert significant_passes(np.array([0, 255])) == 1
+        assert significant_passes(np.array([256])) == 2
+        assert significant_passes(np.array([2**32])) == 5
+
+    def test_work_accounting(self):
+        w = RadixWork()
+        radix_argsort(np.arange(100) * 1000, w)
+        assert w.n == 100
+        assert w.passes == significant_passes(np.arange(100) * 1000)
+        assert w.element_moves == w.passes * 100
+
+    def test_sort_pairs(self):
+        keys = np.array([3, 1, 2], dtype=np.int64)
+        vals = np.array([30, 10, 20], dtype=np.int64)
+        sk, sv = radix_sort_pairs(keys, vals)
+        assert np.array_equal(sk, [1, 2, 3])
+        assert np.array_equal(sv, [10, 20, 30])
+
+
+class TestCompaction:
+    def test_run_heads(self):
+        heads = run_heads(np.array([1, 1, 2, 3, 3, 3]))
+        assert np.array_equal(heads, [True, False, True, True, False, False])
+
+    def test_run_lengths(self):
+        heads = run_heads(np.array([1, 1, 2, 3, 3, 3]))
+        starts, lengths = run_lengths(heads)
+        assert np.array_equal(starts, [0, 2, 3])
+        assert np.array_equal(lengths, [2, 1, 3])
+
+    def test_run_lengths_empty(self):
+        starts, lengths = run_lengths(np.zeros(0, dtype=bool))
+        assert starts.size == 0 and lengths.size == 0
+
+    def test_compact_indices(self):
+        flags = np.array([True, False, True, True, False])
+        assert np.array_equal(compact_indices(flags), [0, 2, 3])
+
+    def test_compact_indices_none_set(self):
+        assert compact_indices(np.zeros(5, dtype=bool)).size == 0
+
+    def test_compact_indices_all_set(self):
+        assert np.array_equal(compact_indices(np.ones(4, dtype=bool)), np.arange(4))
+
+    def test_expand_runs_inverts_run_lengths(self):
+        keys = np.array([7, 7, 8, 9, 9, 9, 9])
+        heads = run_heads(keys)
+        starts, lengths = run_lengths(heads)
+        rid = expand_runs(starts, lengths)
+        assert np.array_equal(rid, [0, 0, 1, 2, 2, 2, 2])
+
+    @given(st.lists(st.integers(0, 8), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_property_runs_partition_sorted_input(self, xs):
+        keys = np.sort(np.array(xs, dtype=np.int64))
+        heads = run_heads(keys)
+        starts, lengths = run_lengths(heads)
+        assert int(lengths.sum()) == keys.size
+        # each run holds exactly one distinct key
+        for s, ln in zip(starts, lengths, strict=True):
+            assert np.unique(keys[s : s + ln]).size == 1
+        assert np.unique(keys).size == starts.size

@@ -1,0 +1,112 @@
+"""Smoke + contract tests for the experiment harness and calibration."""
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ExperimentConfig,
+    FigureResult,
+    fig01_profiling,
+    linearizability_demo,
+    run_all,
+    run_system,
+)
+from repro.simt.calibration import calibrate
+
+SMALL = ExperimentConfig(
+    tree_size=2**10, batch_size=2**9, n_batches=2, fanout=16, num_sms=4
+)
+
+
+class TestExperimentConfig:
+    def test_with_overrides(self):
+        cfg = SMALL.with_(tree_size=64)
+        assert cfg.tree_size == 64
+        assert SMALL.tree_size == 2**10  # original untouched
+
+    def test_device_and_tree_config(self):
+        assert SMALL.device.num_sms == 4
+        assert SMALL.tree_config.fanout == 16
+
+
+class TestRunSystem:
+    def test_merges_batches(self):
+        run = run_system("eirene", SMALL)
+        assert run.outcome.n_requests == SMALL.batch_size * SMALL.n_batches
+        assert len(run.batch_avg_response_s) == SMALL.n_batches
+        assert run.outcome.seconds > 0
+
+    def test_same_seed_same_workload(self):
+        a = run_system("nocc", SMALL)
+        b = run_system("nocc", SMALL)
+        assert a.outcome.seconds == b.outcome.seconds
+
+    def test_run_all(self):
+        runs = run_all(("nocc", "eirene"), SMALL)
+        assert set(runs) == {"nocc", "eirene"}
+
+    def test_linearizability_check_wiring(self):
+        run = run_system("eirene", SMALL.with_(check_linearizability=True, engine="simt"))
+        assert run.linearizable is True
+
+    def test_qos_variance_definition(self):
+        run = run_system("eirene", SMALL)
+        a = np.asarray(run.batch_avg_response_s)
+        m = a.mean()
+        expected = max((a.max() - m) / m, (m - a.min()) / m)
+        assert run.qos_variance == pytest.approx(expected)
+
+
+class TestFigureResult:
+    def _fig(self):
+        fig = FigureResult(figure="T", title="t", columns=["a", "b"])
+        fig.add_row("x", 1.0, 2.0)
+        fig.add_row("y", 3.0, 4.0)
+        return fig
+
+    def test_value_lookup(self):
+        assert self._fig().value("y", "b") == 4.0
+
+    def test_ratio(self):
+        assert self._fig().ratio("y", "x", "a") == 3.0
+
+    def test_unknown_row_and_column(self):
+        with pytest.raises(KeyError):
+            self._fig().value("z", "a")
+        with pytest.raises(KeyError):
+            self._fig().value("x", "c")
+
+    def test_render_contains_everything(self):
+        fig = self._fig()
+        fig.paper_notes = ["note-p"]
+        fig.notes = ["note-m"]
+        out = fig.render()
+        for token in ("T", "a", "b", "x", "y", "note-p", "note-m"):
+            assert token in out
+
+
+class TestFiguresSmoke:
+    """Cheap-config smoke runs of the figure harness (shape-agnostic)."""
+
+    def test_fig01_runs(self):
+        fig = fig01_profiling(SMALL)
+        assert fig.value("STM GB-tree", "mem_ratio") > 1.0
+
+    def test_linearizability_demo_runs(self):
+        fig = linearizability_demo(SMALL)
+        rows = {r[0]: r[1] for r in fig.rows}
+        assert rows["Eirene"] == "yes"
+
+
+class TestCalibration:
+    def test_engines_agree_within_band(self):
+        report = calibrate(
+            tree_size=2**10, batch_size=2**9, fanout=16, num_sms=4,
+            systems=("nocc", "eirene"),
+        )
+        text = report.render()
+        assert "ratio" in text
+        # traversal steps must agree closely (same algorithm both engines)
+        assert report.worst_ratio("steps/req") < 1.5
+        # instruction models within a factor-2 band of measurements
+        assert report.worst_ratio("mem_inst/req") < 2.0

@@ -1,0 +1,100 @@
+"""Unit tests for metrics (QoS stats, throughput, instruction profiles)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    InstructionProfile,
+    ProfileTable,
+    ResponseTimeStats,
+    ThroughputResult,
+    combine,
+    response_time_stats,
+)
+
+
+class TestResponseTimeStats:
+    def test_uniform_times_have_zero_variance(self):
+        stats = response_time_stats(np.full(1000, 2e-9))
+        assert stats.variance_fraction == pytest.approx(0.0)
+        assert stats.avg_s == pytest.approx(2e-9)
+
+    def test_variance_fraction_matches_paper_definition(self):
+        # avg 1.0, max 1.4, min 0.9 -> variance = 40%
+        t = np.concatenate([np.full(96, 1.0), [1.4, 1.4, 0.9, 0.9]])
+        t = t * (100 / t.sum())  # keep mean 1.0
+        stats = response_time_stats(t, trim=0.0)
+        assert stats.variance_fraction == pytest.approx(0.4, abs=0.05)
+
+    def test_trim_suppresses_single_outlier(self):
+        t = np.full(2000, 1.0)
+        t[0] = 100.0
+        trimmed = response_time_stats(t, trim=0.005)
+        raw = response_time_stats(t, trim=0.0)
+        assert trimmed.variance_fraction < raw.variance_fraction
+
+    def test_nan_and_empty_handled(self):
+        stats = response_time_stats(np.array([np.nan, np.nan]))
+        assert stats.n == 0
+        assert stats.variance_fraction == 0.0
+
+    def test_percentiles_ordered(self):
+        rng = np.random.default_rng(0)
+        stats = response_time_stats(rng.exponential(1e-9, size=5000))
+        assert stats.min_s <= stats.p50_s <= stats.p99_s <= stats.max_s
+
+    def test_describe_contains_variance(self):
+        stats = response_time_stats(np.full(100, 1e-9))
+        assert "variance" in stats.describe()
+
+
+class TestThroughput:
+    def test_per_second(self):
+        t = ThroughputResult(requests=1000, seconds=0.5)
+        assert t.per_second == 2000
+        assert t.mops == pytest.approx(0.002)
+
+    def test_zero_seconds(self):
+        assert ThroughputResult(requests=10, seconds=0.0).per_second == 0.0
+
+    def test_combine(self):
+        total = combine(
+            [ThroughputResult(100, 1.0), ThroughputResult(300, 1.0)]
+        )
+        assert total.requests == 400
+        assert total.per_second == 200.0
+
+    def test_describe(self):
+        assert "Mreq/s" in ThroughputResult(10**6, 1.0).describe()
+
+
+class TestProfileTable:
+    def _table(self):
+        t = ProfileTable()
+        t.add(InstructionProfile("base", 100, mem_inst=10.0, control_inst=20.0, conflicts=1.0))
+        t.add(InstructionProfile("fancy", 100, mem_inst=1.0, control_inst=2.0, conflicts=0.05))
+        return t
+
+    def test_normalized_to(self):
+        t = self._table()
+        norm = t.get("fancy").normalized_to(t.get("base"))
+        assert norm["memory_inst"] == pytest.approx(0.1)
+        assert norm["control_inst"] == pytest.approx(0.1)
+        assert norm["conflicts"] == pytest.approx(0.05)
+
+    def test_render_absolute(self):
+        out = self._table().render()
+        assert "memory_inst" in out
+        assert "base" in out and "fancy" in out
+
+    def test_render_normalized(self):
+        out = self._table().render(normalize_to="base")
+        assert "normalized to base" in out
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            self._table().get("nope")
+
+    def test_total_inst(self):
+        p = InstructionProfile("x", 10, mem_inst=1.0, control_inst=2.0, alu_inst=3.0)
+        assert p.total_inst == 6.0

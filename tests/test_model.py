@@ -1,0 +1,164 @@
+"""Unit tests for the vector-engine event model and the errors hierarchy."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.model import (
+    COALESCE_SCATTERED,
+    COALESCE_SORTED,
+    OVERLAP,
+    EventTotals,
+    InstCost,
+    InstModel,
+    phase_seconds,
+    writer_collision_groups,
+)
+from repro.config import DeviceConfig, EireneConfig
+from repro.errors import (
+    ConfigError,
+    LinearizabilityViolation,
+    LockError,
+    MemoryError_,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    TransactionError,
+    TreeError,
+    TreeFullError,
+    WorkloadError,
+)
+
+
+class TestInstCost:
+    def test_add(self):
+        c = InstCost(mem=1, ctrl=2) + InstCost(mem=3, alu=4)
+        assert (c.mem, c.ctrl, c.alu) == (4, 2, 4)
+
+    def test_mul_scales_everything(self):
+        c = 3 * InstCost(mem=1, ctrl=2, alu=1, atomic=1)
+        assert (c.mem, c.ctrl, c.alu, c.atomic) == (3, 6, 3, 3)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            InstCost().mem = 5  # type: ignore[misc]
+
+
+class TestInstModel:
+    def test_scan_grows_with_fanout(self):
+        assert InstModel(32).scan > InstModel(8).scan
+
+    def test_stm_visit_triples_memory(self):
+        im = InstModel(16)
+        assert im.node_visit_stm.mem == pytest.approx(3 * (im.scan + 2))
+
+    def test_lock_visit_adds_few_memory_ops(self):
+        im = InstModel(16)
+        assert im.node_visit_lock_validated.mem - im.node_visit_plain.mem <= 4
+
+    def test_ntg_visit_cheaper_than_plain(self):
+        im = InstModel(32)
+        assert im.node_visit_ntg.mem < im.node_visit_plain.mem
+        assert im.node_visit_ntg.ctrl == pytest.approx(math.log2(32) + 1)
+
+    def test_ordering_matches_the_papers_overheads(self):
+        im = InstModel(16)
+        assert im.node_visit_stm.mem > im.node_visit_lock_validated.mem
+        assert im.node_visit_lock_validated.mem > im.node_visit_plain.mem
+        assert im.node_visit_stm.ctrl > im.node_visit_plain.ctrl
+
+
+class TestEventTotals:
+    def test_add_applies_coalescing(self):
+        t = EventTotals()
+        t.add(InstCost(mem=10), count=2, coalesce=0.5)
+        assert t.mem == 20
+        assert t.transactions == 10
+
+    def test_atomics_always_full_transactions(self):
+        t = EventTotals()
+        t.add(InstCost(atomic=4), count=1, coalesce=0.25)
+        assert t.transactions == 4
+
+    def test_merge(self):
+        a = EventTotals(mem=1, conflicts=2)
+        b = EventTotals(mem=3, conflicts=1)
+        a.merge(b)
+        assert a.mem == 4
+        assert a.conflicts == 3
+
+    def test_sorted_coalesce_cheaper(self):
+        assert COALESCE_SORTED < COALESCE_SCATTERED
+        assert 0 < OVERLAP <= 1
+
+
+class TestPhaseSeconds:
+    def test_compute_bound(self):
+        dev = DeviceConfig(num_sms=1, mem_bandwidth_gbps=1e9)  # infinite memory
+        t = EventTotals(ctrl=dev.thread_slots * dev.clock_hz)  # 1 second of work
+        assert phase_seconds(t, dev) == pytest.approx(1.0)
+
+    def test_memory_bound(self):
+        dev = DeviceConfig(num_sms=10_000)  # infinite compute
+        t = EventTotals(transactions=dev.mem_transactions_per_second)
+        assert phase_seconds(t, dev) == pytest.approx(1.0)
+
+
+class TestWriterCollisionGroups:
+    def test_empty(self):
+        size, rank = writer_collision_groups(np.zeros(0, dtype=np.int64))
+        assert size.size == 0 and rank.size == 0
+
+    def test_all_distinct(self):
+        size, rank = writer_collision_groups(np.array([5, 9, 2]))
+        assert np.all(size == 1)
+        assert np.all(rank == 0)
+
+    def test_groups_and_ranks_follow_array_order(self):
+        leaves = np.array([7, 3, 7, 7, 3])
+        size, rank = writer_collision_groups(leaves)
+        assert list(size) == [3, 2, 3, 3, 2]
+        assert list(rank) == [0, 0, 1, 2, 1]
+
+
+class TestErrorsHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for exc in (
+            ConfigError, MemoryError_, TreeError, TreeFullError,
+            TransactionError, TransactionAborted, LockError,
+            SimulationError, WorkloadError, LinearizabilityViolation,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_tree_full_is_tree_error(self):
+        assert issubclass(TreeFullError, TreeError)
+
+    def test_aborted_is_transaction_error(self):
+        assert issubclass(TransactionAborted, TransactionError)
+
+    def test_aborted_carries_reason(self):
+        assert TransactionAborted("ww").reason == "ww"
+
+
+class TestNtgConfig:
+    def test_flag_default_on(self):
+        assert EireneConfig().enable_narrowed_thread_groups
+
+    def test_ntg_reduces_eirene_query_memory(self, rng):
+        from repro import TreeConfig, YcsbWorkload, build_key_pool, make_system
+        from repro.workloads import YcsbMix
+
+        outs = {}
+        for label, flag in (("on", True), ("off", False)):
+            keys, values = build_key_pool(2**11, np.random.default_rng(4))
+            sys_ = make_system(
+                "eirene", keys, values,
+                tree_config=TreeConfig(fanout=32),
+                config=EireneConfig(enable_narrowed_thread_groups=flag),
+            )
+            wl = YcsbWorkload(pool=keys, mix=YcsbMix(query=1.0, update=0.0))
+            batch = wl.generate(2**10, np.random.default_rng(9))
+            outs[label] = sys_.process_batch(batch, engine="vector")
+        assert outs["on"].mem_inst < outs["off"].mem_inst
+        assert np.array_equal(outs["on"].results.values, outs["off"].results.values)

@@ -1,0 +1,70 @@
+"""Unit tests for repro._types."""
+
+import numpy as np
+import pytest
+
+from repro._types import (
+    EMPTY_KEY,
+    MAX_KEY,
+    NULL_VALUE,
+    OpKind,
+    is_query_kind_array,
+    is_update_kind_array,
+)
+
+
+class TestOpKind:
+    def test_update_class_members(self):
+        assert OpKind.UPDATE.is_update_class
+        assert OpKind.INSERT.is_update_class
+        assert OpKind.DELETE.is_update_class
+        assert not OpKind.QUERY.is_update_class
+        assert not OpKind.RANGE.is_update_class
+
+    def test_query_class_members(self):
+        assert OpKind.QUERY.is_query_class
+        assert OpKind.RANGE.is_query_class
+        assert not OpKind.UPDATE.is_query_class
+
+    def test_classes_partition_all_kinds(self):
+        for kind in OpKind:
+            assert kind.is_update_class != kind.is_query_class
+
+    def test_int_values_are_stable(self):
+        # batch encodings depend on these exact values
+        assert OpKind.QUERY == 0
+        assert OpKind.UPDATE == 1
+        assert OpKind.INSERT == 2
+        assert OpKind.DELETE == 3
+        assert OpKind.RANGE == 4
+
+
+class TestKindArrays:
+    def test_vectorized_update_class_matches_scalar(self):
+        kinds = np.array([k.value for k in OpKind], dtype=np.int8)
+        vec = is_update_kind_array(kinds)
+        for i, kind in enumerate(OpKind):
+            assert vec[i] == kind.is_update_class
+
+    def test_vectorized_query_class_matches_scalar(self):
+        kinds = np.array([k.value for k in OpKind], dtype=np.int8)
+        vec = is_query_kind_array(kinds)
+        for i, kind in enumerate(OpKind):
+            assert vec[i] == kind.is_query_class
+
+    def test_empty_array(self):
+        kinds = np.zeros(0, dtype=np.int8)
+        assert is_update_kind_array(kinds).size == 0
+        assert is_query_kind_array(kinds).size == 0
+
+
+class TestSentinels:
+    def test_empty_key_sorts_after_max_key(self):
+        assert EMPTY_KEY > MAX_KEY
+
+    def test_null_value_is_negative(self):
+        # workloads only generate positive values, so NULL can't collide
+        assert NULL_VALUE < 0
+
+    def test_empty_key_is_int64_max(self):
+        assert EMPTY_KEY == np.iinfo(np.int64).max
