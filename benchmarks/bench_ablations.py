@@ -1,14 +1,15 @@
 """Ablation benches for the design knobs DESIGN.md §6 calls out.
 
 Extension experiments beyond the paper's Fig. 11/12: retry threshold,
-iteration-warp depth, the RF vertical/horizontal decision, and key-skew
-sensitivity.
+iteration-warp depth, the RF vertical/horizontal decision, the
+query/update kernel partition, and key-skew sensitivity.
 """
 
 from conftest import emit
 
 from repro.harness.ablations import (
     ablate_iteration_depth,
+    ablate_kernel_partition,
     ablate_retry_threshold,
     ablate_rf_decision,
     ablate_skew,
@@ -42,6 +43,18 @@ def test_ablation_rf_decision(benchmark, results_dir):
     )
     assert fig.value("RF decision on", "Mreq/s") >= fig.value(
         "always horizontal", "Mreq/s"
+    )
+
+
+def test_ablation_kernel_partition(benchmark, results_dir):
+    fig = benchmark.pedantic(ablate_kernel_partition, rounds=1, iterations=1)
+    emit(fig, results_dir)
+    # merging the kernels puts STM reads (and reader aborts) on the query path
+    assert fig.value("partitioned kernels", "Mreq/s") > fig.value(
+        "unified kernel", "Mreq/s"
+    )
+    assert fig.value("unified kernel", "mem_per_req") > fig.value(
+        "partitioned kernels", "mem_per_req"
     )
 
 

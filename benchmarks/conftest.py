@@ -3,7 +3,8 @@
 Every ``bench_figXX`` module reproduces one figure of the paper's §8: it
 runs the corresponding harness function once under ``benchmark.pedantic``
 (so ``pytest benchmarks/ --benchmark-only`` collects it), prints the
-paper-vs-measured table, saves it under ``benchmarks/results/``, and
+paper-vs-measured table, saves it under ``benchmarks/results/`` (both the
+rendered ``.txt`` table and a machine-readable ``.json`` twin), and
 asserts the figure's qualitative shape.
 """
 
@@ -41,3 +42,4 @@ def emit(fig: FigureResult, results_dir: pathlib.Path) -> None:
     print("\n" + text)
     name = fig.figure.lower().replace(".", "").replace(" ", "").replace("§", "sec")
     (results_dir / f"{name}.txt").write_text(text + "\n")
+    (results_dir / f"{name}.json").write_text(fig.to_json(indent=2) + "\n")

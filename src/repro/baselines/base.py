@@ -30,6 +30,7 @@ from ..metrics import (
     ThroughputResult,
     response_time_stats,
 )
+from ..metrics.trace import PipelineTrace, merge_traces
 from ..simt import KernelCounters, PhaseTime
 from ..btree.tree import BPlusTree
 from ..workloads.requests import BatchResults, RequestBatch
@@ -57,6 +58,9 @@ class BatchOutcome:
     traversal_steps: float = 0.0
     #: raw SIMT counters when engine="simt"
     counters: KernelCounters | None = None
+    #: per-pass breakdown of the pipeline run that produced this outcome;
+    #: its modeled pass seconds sum to ``seconds``
+    trace: PipelineTrace | None = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -126,6 +130,7 @@ def merge_outcomes(outcomes: list[BatchOutcome]) -> BatchOutcome:
                 weights=[o.n_requests for o in outcomes],
             )
         ),
+        trace=merge_traces([o.trace for o in outcomes]),
     )
     return out
 
@@ -147,7 +152,12 @@ def simt_response_times(counters: KernelCounters, seconds: float, n: int) -> np.
 
 
 class System(abc.ABC):
-    """A concurrent GPU B+tree under test."""
+    """A concurrent GPU B+tree under test.
+
+    Batch processing runs through the pass pipeline
+    (:mod:`repro.core.pipeline`): a system is characterized entirely by the
+    pass list its :meth:`build_pipeline` assembles per engine.
+    """
 
     name: str = "abstract"
 
@@ -157,19 +167,23 @@ class System(abc.ABC):
         self.imodel = InstModel(tree.layout.fanout)
 
     def process_batch(self, batch: RequestBatch, engine: str = "vector") -> BatchOutcome:
-        """Process one buffered batch; mutates the tree."""
-        if engine == "vector":
-            return self._process_vector(batch)
-        if engine == "simt":
-            return self._process_simt(batch)
-        raise ConfigError(f"unknown engine {engine!r}; use 'vector' or 'simt'")
+        """Process one buffered batch through the pass pipeline; mutates the
+        tree. The returned outcome carries a per-pass ``trace``."""
+        if engine not in ("vector", "simt"):
+            raise ConfigError(f"unknown engine {engine!r}; use 'vector' or 'simt'")
+        # local import: core.pipeline is a downstream module (the concrete
+        # system passes live next to the systems), imported lazily here to
+        # keep base importable on its own
+        from ..core.pipeline import run_pipeline
+
+        return run_pipeline(self, batch, engine)
 
     @abc.abstractmethod
-    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
-        raise NotImplementedError
+    def build_pipeline(self, engine: str):
+        """Assemble this system's pass list for ``engine``.
 
-    @abc.abstractmethod
-    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
+        Returns a :class:`repro.core.pipeline.PassPipeline`.
+        """
         raise NotImplementedError
 
     # ------------------------------------------------------------------ #

@@ -7,6 +7,9 @@ latch word and version, restarting from the root on interference. Memory
 overhead per request is small (one latch word per node visited — the
 paper's 1.12×); control overhead is large (spin loops and validation
 branches — the paper's 2.85×).
+
+Pipeline: one latched kernel pass plus the shared apply/response/finalize
+passes.
 """
 
 from __future__ import annotations
@@ -28,34 +31,37 @@ from ..btree.device_ops import (
 from ..btree.layout import OFF_COUNT, OFF_LOCK, OFF_NEXT, OFF_VERSION
 from ..btree.tree import BPlusTree
 from ..config import DeviceConfig
+from ..core.pipeline import (
+    FinalizePass,
+    HostApplyPass,
+    Pass,
+    PassPipeline,
+    PipelineContext,
+    SimtResponsePass,
+    WeightedResponsePass,
+)
 from ..locks import LatchTable
-from ..simt import Branch, KernelLaunch, Load, Mark, PhaseTime
-from ..workloads.requests import BatchResults, RequestBatch
-from .base import BatchOutcome, System, simt_response_times
-from .model import OVERLAP, EventTotals, phase_seconds, writer_collision_groups
+from ..simt import Branch, KernelLaunch, Load, Mark
+from .base import System
+from .model import OVERLAP, EventTotals, writer_collision_groups
 
 #: expected latch-hold length in issue slots (drives expected spins in the
 #: vector model; the SIMT engine measures the real value).
 HOLD_SLOTS = 24.0
 
 
-class LockGBTree(System):
-    """Concurrent GPU B+tree with fine-grained node latches."""
+class LockChargePass(Pass):
+    """Vector engine: latch-spin / reader-restart collision model."""
 
-    name = "Lock GB-tree"
+    name = "kernel"
 
-    def __init__(self, tree: BPlusTree, device: DeviceConfig | None = None) -> None:
-        super().__init__(tree, device)
-        self.latches = LatchTable(tree.arena)
-
-    # ------------------------------------------------------------------ #
-    # vector engine
-    # ------------------------------------------------------------------ #
-    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
-        im = self.imodel
-        totals = EventTotals()
-        height = self.tree.height
-        n = batch.n
+    def run(self, ctx: PipelineContext) -> None:
+        batch = ctx.batch
+        im = ctx.imodel
+        tree = ctx.tree
+        totals = ctx.totals
+        height = tree.height
+        n = ctx.n
 
         q_mask = batch.kinds == OpKind.QUERY
         w_mask = is_update_kind_array(batch.kinds)
@@ -63,14 +69,14 @@ class LockGBTree(System):
         point_idx = np.flatnonzero(point)
         leaves = np.zeros(n, dtype=np.int64)
         if point_idx.size:
-            leaves[point_idx], _ = batch_find_leaf(self.tree, batch.keys[point_idx])
+            leaves[point_idx], _ = batch_find_leaf(tree, batch.keys[point_idx])
 
         w_idx = np.flatnonzero(w_mask)
         _, w_rank = writer_collision_groups(leaves[w_idx])
         writers_on_leaf = (
-            np.bincount(leaves[w_idx], minlength=self.tree.max_nodes)
+            np.bincount(leaves[w_idx], minlength=tree.max_nodes)
             if w_idx.size
-            else np.zeros(self.tree.max_nodes, dtype=np.int64)
+            else np.zeros(tree.max_nodes, dtype=np.int64)
         )
 
         # writers spin while earlier same-leaf writers hold the leaf latch
@@ -96,46 +102,34 @@ class LockGBTree(System):
 
         range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
         if range_idx.size:
-            spans = self._range_spans(batch, range_idx)
+            spans = _range_spans(tree, batch, range_idx)
             totals.add(height * im.node_visit_lock_validated, count=int(range_idx.size))
             totals.add(im.leaf_lookup_plain + im.lock_spin * 0.5, count=int(spans.sum()))
             work[range_idx] = (
                 height * im.node_visit_lock_validated.mem + spans * im.leaf_lookup_plain.mem
             ) * 2
 
-        splits_before = len(self.tree.split_events)
-        results = self._apply_in_timestamp_order(batch)
-        splits = len(self.tree.split_events) - splits_before
-        totals.add(im.split_smo * 0.6, count=splits)  # no ownership storm, latched
-
         # a 'conflict' in the lock design is a failed latch CAS or a reader
         # restart — what the paper's conflict counts compare across systems
         totals.conflicts = float(spins.sum() + reader_restarts.sum())
-        seconds = phase_seconds(totals, self.device)
-        phase = PhaseTime(query_kernel=seconds)
-        resp = (seconds / n) * (work / max(work.mean(), 1e-12))
-        return self._outcome_from_totals(
-            batch, results, totals, phase, resp, float(height),
-            extras={"spins": spins},
-        )
+        ctx.art["work"] = work
+        ctx.extras["spins"] = spins
+        ctx.traversal_steps = float(height)
+        ctx.roofline_phase("query_kernel")
 
-    def _range_spans(self, batch: RequestBatch, range_idx: np.ndarray) -> np.ndarray:
-        lo_leaves, _ = batch_find_leaf(self.tree, batch.keys[range_idx])
-        hi_leaves, _ = batch_find_leaf(self.tree, batch.range_ends[range_idx])
-        index_of = {leaf: i for i, leaf in enumerate(self.tree.leaf_ids())}
-        return np.array(
-            [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)],
-            dtype=np.int64,
-        )
 
-    # ------------------------------------------------------------------ #
-    # SIMT engine
-    # ------------------------------------------------------------------ #
-    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
-        tree = self.tree
-        latches = self.latches
-        n = batch.n
-        results = BatchResults.empty(n)
+class LockSimtKernelPass(Pass):
+    """SIMT engine: latched writer / validated reader programs."""
+
+    name = "kernel"
+
+    def run(self, ctx: PipelineContext) -> None:
+        system = ctx.system
+        batch = ctx.batch
+        tree = ctx.tree
+        latches = system.latches
+        n = ctx.n
+        results = ctx.results
         ranges: dict[int, tuple[list[int], list[int]]] = {}
         steps_taken = np.zeros(n, dtype=np.int64)
         lock_before = latches.stats.snapshot()
@@ -167,7 +161,7 @@ class LockGBTree(System):
 
             return program()
 
-        launch = KernelLaunch(self.device, tree.arena, n, rng=self._launch_rng(batch))
+        launch = KernelLaunch(ctx.device, tree.arena, n, rng=ctx.launch_rng())
         launch.add_programs([make_program(i) for i in range(n)])
         counters = launch.run()
         results.set_range_results(
@@ -178,27 +172,53 @@ class LockGBTree(System):
         )
         lock_delta = latches.stats.delta_since(lock_before)
 
-        seconds = self.device.cycles_to_seconds(counters.cycles)
-        resp = simt_response_times(counters, seconds, n)
-        totals = EventTotals(
-            mem=counters.mem_inst,
-            ctrl=counters.control_inst,
-            alu=counters.alu_inst,
-            atomic=counters.atomic_inst,
-            transactions=counters.transactions,
-            conflicts=float(lock_delta.spins),
+        ctx.counters = counters
+        ctx.totals.merge(
+            EventTotals(
+                mem=counters.mem_inst,
+                ctrl=counters.control_inst,
+                alu=counters.alu_inst,
+                atomic=counters.atomic_inst,
+                transactions=counters.transactions,
+                conflicts=float(lock_delta.spins),
+            )
         )
-        outcome = self._outcome_from_totals(
-            batch,
-            results,
-            totals,
-            PhaseTime(query_kernel=seconds),
-            resp,
-            float(steps_taken.mean()) if n else 0.0,
-            extras={"locks": lock_delta},
-        )
-        outcome.counters = counters
-        return outcome
+        ctx.phase.query_kernel = ctx.device.cycles_to_seconds(counters.cycles)
+        ctx.traversal_steps = float(steps_taken.mean()) if n else 0.0
+        ctx.extras["locks"] = lock_delta
+
+
+class LockGBTree(System):
+    """Concurrent GPU B+tree with fine-grained node latches."""
+
+    name = "Lock GB-tree"
+
+    def __init__(self, tree: BPlusTree, device: DeviceConfig | None = None) -> None:
+        super().__init__(tree, device)
+        self.latches = LatchTable(tree.arena)
+
+    def build_pipeline(self, engine: str) -> PassPipeline:
+        if engine == "vector":
+            passes = [
+                LockChargePass(),
+                # no ownership storm, latched split
+                HostApplyPass(split_cost_factor=0.6),
+                WeightedResponsePass(),
+                FinalizePass(),
+            ]
+        else:
+            passes = [LockSimtKernelPass(), SimtResponsePass(), FinalizePass()]
+        return PassPipeline(passes, name=f"lock/{engine}")
+
+
+def _range_spans(tree: BPlusTree, batch, range_idx: np.ndarray) -> np.ndarray:
+    lo_leaves, _ = batch_find_leaf(tree, batch.keys[range_idx])
+    hi_leaves, _ = batch_find_leaf(tree, batch.range_ends[range_idx])
+    index_of = {leaf: i for i, leaf in enumerate(tree.leaf_ids())}
+    return np.array(
+        [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)],
+        dtype=np.int64,
+    )
 
 
 def _d_update_locked(tree: BPlusTree, latches: LatchTable, kind: int, key: int, value: int, owner: int):

@@ -6,6 +6,9 @@ structure (the paper uses it only as the lower bound on per-request work);
 in the SIMT engine its mutations execute through the instantaneous host
 path, so the tree never corrupts, while the charged instruction stream is
 the unsynchronized one.
+
+Pipeline: one unsynchronized kernel pass plus the shared apply/response/
+finalize passes — the smallest pass list of the four systems.
 """
 
 from __future__ import annotations
@@ -15,67 +18,66 @@ import numpy as np
 from .._types import OpKind, is_update_kind_array
 from ..btree import batch_find_leaf
 from ..btree.device_ops import d_find_leaf, d_search_leaf, d_walk_leaves
-from ..simt import KernelLaunch, Mark, PhaseTime, Store
-from ..workloads.requests import BatchResults, RequestBatch
-from .base import BatchOutcome, System, simt_response_times
-from .model import EventTotals, phase_seconds
+from ..core.pipeline import (
+    FinalizePass,
+    HostApplyPass,
+    Pass,
+    PassPipeline,
+    PipelineContext,
+    SimtResponsePass,
+    WeightedResponsePass,
+)
+from ..simt import KernelLaunch, Mark, Store
+from .base import System
+from .model import EventTotals
 
 
-class NoCCGBTree(System):
-    """B+tree kernels with no synchronization (profiling reference)."""
+class NoCCChargePass(Pass):
+    """Vector engine: charge the unsynchronized per-request kernel work."""
 
-    name = "GB-tree w/o concurrent control"
+    name = "kernel"
 
-    # ------------------------------------------------------------------ #
-    # vector engine
-    # ------------------------------------------------------------------ #
-    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
-        im = self.imodel
-        totals = EventTotals()
+    def run(self, ctx: PipelineContext) -> None:
+        batch = ctx.batch
+        im = ctx.imodel
+        tree = ctx.tree
         point = batch.kinds != OpKind.RANGE
         q_mask = batch.kinds == OpKind.QUERY
         w_mask = is_update_kind_array(batch.kinds)
         n_point = int(point.sum())
-        height = self.tree.height
+        height = tree.height
 
         # every point request descends root→leaf and touches its leaf
-        totals.add(im.node_visit_plain, count=n_point * height)
-        totals.add(im.leaf_lookup_plain, count=int(q_mask.sum()))
-        totals.add(im.leaf_update_plain, count=int(w_mask.sum()))
+        ctx.totals.add(im.node_visit_plain, count=n_point * height)
+        ctx.totals.add(im.leaf_lookup_plain, count=int(q_mask.sum()))
+        ctx.totals.add(im.leaf_update_plain, count=int(w_mask.sum()))
 
         # ranges: descent plus the spanned leaf chain
         range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
-        span_total = 0
         if range_idx.size:
-            lo_leaves, _ = batch_find_leaf(self.tree, batch.keys[range_idx])
-            hi_leaves, _ = batch_find_leaf(self.tree, batch.range_ends[range_idx])
-            index_of = {leaf: i for i, leaf in enumerate(self.tree.leaf_ids())}
+            lo_leaves, _ = batch_find_leaf(tree, batch.keys[range_idx])
+            hi_leaves, _ = batch_find_leaf(tree, batch.range_ends[range_idx])
+            index_of = {leaf: i for i, leaf in enumerate(tree.leaf_ids())}
             spans = np.array(
                 [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)]
             )
-            span_total = int(spans.sum())
-            totals.add(im.node_visit_plain, count=int(range_idx.size) * height)
-            totals.add(im.leaf_lookup_plain, count=span_total)
+            ctx.totals.add(im.node_visit_plain, count=int(range_idx.size) * height)
+            ctx.totals.add(im.leaf_lookup_plain, count=int(spans.sum()))
 
-        splits_before = len(self.tree.split_events)
-        results = self._apply_in_timestamp_order(batch)
-        splits = len(self.tree.split_events) - splits_before
-        totals.add(im.split_smo * 0.5, count=splits)  # plain split: no acquire storm
+        ctx.traversal_steps = float(height)
+        ctx.roofline_phase("query_kernel")
 
-        seconds = phase_seconds(totals, self.device)
-        phase = PhaseTime(query_kernel=seconds)
-        # no retries: per-request work is uniform, response times flat
-        resp = np.full(batch.n, seconds / batch.n)
-        steps = float(height)
-        return self._outcome_from_totals(batch, results, totals, phase, resp, steps)
 
-    # ------------------------------------------------------------------ #
-    # SIMT engine
-    # ------------------------------------------------------------------ #
-    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
-        tree = self.tree
-        n = batch.n
-        results = BatchResults.empty(n)
+class NoCCSimtKernelPass(Pass):
+    """SIMT engine: one launch of unsynchronized per-request programs."""
+
+    name = "kernel"
+
+    def run(self, ctx: PipelineContext) -> None:
+        batch = ctx.batch
+        tree = ctx.tree
+        n = ctx.n
+        results = ctx.results
         ranges: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         steps_taken = np.zeros(n, dtype=np.int64)
 
@@ -105,30 +107,42 @@ class NoCCGBTree(System):
 
             return program()
 
-        launch = KernelLaunch(self.device, tree.arena, n, rng=self._launch_rng(batch))
+        launch = KernelLaunch(ctx.device, tree.arena, n, rng=ctx.launch_rng())
         launch.add_programs([make_program(i) for i in range(n)])
         counters = launch.run()
         results.set_range_results(ranges)
 
-        seconds = self.device.cycles_to_seconds(counters.cycles)
-        resp = simt_response_times(counters, seconds, n)
-        totals = EventTotals(
-            mem=counters.mem_inst,
-            ctrl=counters.control_inst,
-            alu=counters.alu_inst,
-            atomic=counters.atomic_inst,
-            transactions=counters.transactions,
+        ctx.counters = counters
+        ctx.totals.merge(
+            EventTotals(
+                mem=counters.mem_inst,
+                ctrl=counters.control_inst,
+                alu=counters.alu_inst,
+                atomic=counters.atomic_inst,
+                transactions=counters.transactions,
+            )
         )
-        outcome = self._outcome_from_totals(
-            batch,
-            results,
-            totals,
-            PhaseTime(query_kernel=seconds),
-            resp,
-            float(steps_taken.mean()),
-        )
-        outcome.counters = counters
-        return outcome
+        ctx.phase.query_kernel = ctx.device.cycles_to_seconds(counters.cycles)
+        ctx.traversal_steps = float(steps_taken.mean()) if n else 0.0
+
+
+class NoCCGBTree(System):
+    """B+tree kernels with no synchronization (profiling reference)."""
+
+    name = "GB-tree w/o concurrent control"
+
+    def build_pipeline(self, engine: str) -> PassPipeline:
+        if engine == "vector":
+            passes = [
+                NoCCChargePass(),
+                # plain splits rewrite in place: no acquire storm
+                HostApplyPass(split_cost_factor=0.5),
+                WeightedResponsePass(),
+                FinalizePass(),
+            ]
+        else:
+            passes = [NoCCSimtKernelPass(), SimtResponsePass(), FinalizePass()]
+        return PassPipeline(passes, name=f"nocc/{engine}")
 
 
 def _charge_leaf_write(tree, leaf: int):

@@ -7,6 +7,9 @@ high-overhead baseline: each transactional word read costs three loads
 overlap with a writer aborts and restarts the whole request. Splits go
 through the structure-modification path of
 :func:`repro.btree.device_ops.d_smo_upsert`.
+
+Pipeline: one whole-operation transactional kernel pass plus the shared
+apply/response/finalize passes.
 """
 
 from __future__ import annotations
@@ -25,12 +28,20 @@ from ..btree.device_ops import (
 from ..btree.layout import OFF_COUNT, OFF_NEXT
 from ..btree.tree import BPlusTree
 from ..config import DeviceConfig
+from ..core.pipeline import (
+    FinalizePass,
+    HostApplyPass,
+    Pass,
+    PassPipeline,
+    PipelineContext,
+    SimtResponsePass,
+    WeightedResponsePass,
+)
 from ..errors import SimulationError, TransactionAborted
-from ..simt import Branch, KernelLaunch, Mark, PhaseTime
+from ..simt import Branch, KernelLaunch, Mark
 from ..stm import DeviceStm, StmRegion
-from ..workloads.requests import BatchResults, RequestBatch
-from .base import BatchOutcome, System, simt_response_times
-from .model import OVERLAP, EventTotals, phase_seconds, writer_collision_groups
+from .base import System
+from .model import OVERLAP, EventTotals, writer_collision_groups
 
 #: fraction of a writer's window a (shorter) read-only tx is exposed to.
 READER_EXPOSURE = 0.5
@@ -39,31 +50,18 @@ READER_EXPOSURE = 0.5
 MAX_RETRIES = 10_000
 
 
-class StmGBTree(System):
-    """Concurrent GPU B+tree protected by whole-operation eager STM."""
+class StmChargePass(Pass):
+    """Vector engine: whole-operation STM collision model + work charges."""
 
-    name = "STM GB-tree"
+    name = "kernel"
 
-    def __init__(
-        self,
-        tree: BPlusTree,
-        stm_region: StmRegion,
-        smo_lock_addr: int,
-        device: DeviceConfig | None = None,
-    ) -> None:
-        super().__init__(tree, device)
-        self.stm = DeviceStm(tree.arena, stm_region)
-        self.smo_lock_addr = smo_lock_addr
-
-    # ------------------------------------------------------------------ #
-    # vector engine
-    # ------------------------------------------------------------------ #
-    def _process_vector(self, batch: RequestBatch) -> BatchOutcome:
-        im = self.imodel
-        dev = self.device
-        totals = EventTotals()
-        height = self.tree.height
-        n = batch.n
+    def run(self, ctx: PipelineContext) -> None:
+        batch = ctx.batch
+        im = ctx.imodel
+        tree = ctx.tree
+        totals = ctx.totals
+        height = tree.height
+        n = ctx.n
 
         point = batch.kinds != OpKind.RANGE
         q_mask = (batch.kinds == OpKind.QUERY)
@@ -71,15 +69,15 @@ class StmGBTree(System):
         point_idx = np.flatnonzero(point)
         leaves = np.zeros(n, dtype=np.int64)
         if point_idx.size:
-            leaves[point_idx], _ = batch_find_leaf(self.tree, batch.keys[point_idx])
+            leaves[point_idx], _ = batch_find_leaf(tree, batch.keys[point_idx])
 
         # expected aborts: writers serialize per leaf; readers are exposed
         # to every writer of their leaf for a fraction of its window
         w_idx = np.flatnonzero(w_mask)
         _, w_rank = writer_collision_groups(leaves[w_idx])
         writers_on_leaf = np.bincount(
-            leaves[w_idx], minlength=self.tree.max_nodes
-        ) if w_idx.size else np.zeros(self.tree.max_nodes, dtype=np.int64)
+            leaves[w_idx], minlength=tree.max_nodes
+        ) if w_idx.size else np.zeros(tree.max_nodes, dtype=np.int64)
         retries = np.zeros(n, dtype=np.float64)
         retries[w_idx] = OVERLAP * w_rank
         q_idx = np.flatnonzero(q_mask)
@@ -108,7 +106,7 @@ class StmGBTree(System):
         # ranges: transactional scan over the spanned leaf chain
         range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
         if range_idx.size:
-            spans = self._range_spans(batch, range_idx)
+            spans = _range_spans(tree, batch, range_idx)
             base_r = height * im.node_visit_stm + im.tx_begin_commit_query
             totals.add(base_r, count=int(range_idx.size))
             totals.add(im.leaf_lookup_stm, count=int(spans.sum()))
@@ -119,37 +117,25 @@ class StmGBTree(System):
                 base_r.mem + base_r.ctrl + spans * im.leaf_lookup_stm.mem
             ) * (1 + r_retries)
 
-        splits_before = len(self.tree.split_events)
-        results = self._apply_in_timestamp_order(batch)
-        splits = len(self.tree.split_events) - splits_before
-        totals.add(im.split_smo, count=splits)
-
         totals.conflicts = float(retries.sum())
-        seconds = phase_seconds(totals, dev)
-        phase = PhaseTime(query_kernel=seconds)
-        resp = (seconds / n) * (work / max(work.mean(), 1e-12))
-        return self._outcome_from_totals(
-            batch, results, totals, phase, resp, float(height),
-            extras={"retries": retries},
-        )
+        ctx.art["work"] = work
+        ctx.extras["retries"] = retries
+        ctx.traversal_steps = float(height)
+        ctx.roofline_phase("query_kernel")
 
-    def _range_spans(self, batch: RequestBatch, range_idx: np.ndarray) -> np.ndarray:
-        lo_leaves, _ = batch_find_leaf(self.tree, batch.keys[range_idx])
-        hi_leaves, _ = batch_find_leaf(self.tree, batch.range_ends[range_idx])
-        index_of = {leaf: i for i, leaf in enumerate(self.tree.leaf_ids())}
-        return np.array(
-            [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)],
-            dtype=np.int64,
-        )
 
-    # ------------------------------------------------------------------ #
-    # SIMT engine
-    # ------------------------------------------------------------------ #
-    def _process_simt(self, batch: RequestBatch) -> BatchOutcome:
-        tree = self.tree
-        stm = self.stm
-        n = batch.n
-        results = BatchResults.empty(n)
+class StmSimtKernelPass(Pass):
+    """SIMT engine: whole-operation eager transactions, abort & restart."""
+
+    name = "kernel"
+
+    def run(self, ctx: PipelineContext) -> None:
+        system = ctx.system
+        batch = ctx.batch
+        tree = ctx.tree
+        stm = system.stm
+        n = ctx.n
+        results = ctx.results
         ranges: dict[int, tuple[list[int], list[int]]] = {}
         steps_taken = np.zeros(n, dtype=np.int64)
         retries = np.zeros(n, dtype=np.int64)
@@ -181,7 +167,7 @@ class StmGBTree(System):
                             if needs_split:
                                 yield from stm.d_abort(tx, counted=False)
                                 old = yield from d_smo_upsert(
-                                    tree, stm, self.smo_lock_addr, i, key, value
+                                    tree, stm, system.smo_lock_addr, i, key, value
                                 )
                             else:
                                 yield from stm.d_commit(tx)
@@ -202,7 +188,7 @@ class StmGBTree(System):
 
             return program()
 
-        launch = KernelLaunch(self.device, tree.arena, n, rng=self._launch_rng(batch))
+        launch = KernelLaunch(ctx.device, tree.arena, n, rng=ctx.launch_rng())
         launch.add_programs([make_program(i) for i in range(n)])
         counters = launch.run()
         results.set_range_results(
@@ -213,27 +199,60 @@ class StmGBTree(System):
         )
         stm_delta = stm.stats.delta_since(stm_before)
 
-        seconds = self.device.cycles_to_seconds(counters.cycles)
-        resp = simt_response_times(counters, seconds, n)
-        totals = EventTotals(
-            mem=counters.mem_inst,
-            ctrl=counters.control_inst,
-            alu=counters.alu_inst,
-            atomic=counters.atomic_inst,
-            transactions=counters.transactions,
-            conflicts=float(stm_delta.conflicts),
+        ctx.counters = counters
+        ctx.totals.merge(
+            EventTotals(
+                mem=counters.mem_inst,
+                ctrl=counters.control_inst,
+                alu=counters.alu_inst,
+                atomic=counters.atomic_inst,
+                transactions=counters.transactions,
+                conflicts=float(stm_delta.conflicts),
+            )
         )
-        outcome = self._outcome_from_totals(
-            batch,
-            results,
-            totals,
-            PhaseTime(query_kernel=seconds),
-            resp,
-            float(steps_taken.mean()) if n else 0.0,
-            extras={"retries": retries, "stm": stm_delta},
-        )
-        outcome.counters = counters
-        return outcome
+        ctx.phase.query_kernel = ctx.device.cycles_to_seconds(counters.cycles)
+        ctx.traversal_steps = float(steps_taken.mean()) if n else 0.0
+        ctx.extras["retries"] = retries
+        ctx.extras["stm"] = stm_delta
+
+
+class StmGBTree(System):
+    """Concurrent GPU B+tree protected by whole-operation eager STM."""
+
+    name = "STM GB-tree"
+
+    def __init__(
+        self,
+        tree: BPlusTree,
+        stm_region: StmRegion,
+        smo_lock_addr: int,
+        device: DeviceConfig | None = None,
+    ) -> None:
+        super().__init__(tree, device)
+        self.stm = DeviceStm(tree.arena, stm_region)
+        self.smo_lock_addr = smo_lock_addr
+
+    def build_pipeline(self, engine: str) -> PassPipeline:
+        if engine == "vector":
+            passes = [
+                StmChargePass(),
+                HostApplyPass(split_cost_factor=1.0),
+                WeightedResponsePass(),
+                FinalizePass(),
+            ]
+        else:
+            passes = [StmSimtKernelPass(), SimtResponsePass(), FinalizePass()]
+        return PassPipeline(passes, name=f"stm/{engine}")
+
+
+def _range_spans(tree: BPlusTree, batch, range_idx: np.ndarray) -> np.ndarray:
+    lo_leaves, _ = batch_find_leaf(tree, batch.keys[range_idx])
+    hi_leaves, _ = batch_find_leaf(tree, batch.range_ends[range_idx])
+    index_of = {leaf: i for i, leaf in enumerate(tree.leaf_ids())}
+    return np.array(
+        [index_of[int(h)] - index_of[int(l)] + 1 for l, h in zip(lo_leaves, hi_leaves)],
+        dtype=np.int64,
+    )
 
 
 def _d_range_scan_stm(tree: BPlusTree, stm: DeviceStm, tx, leaf: int, lo: int, hi: int):

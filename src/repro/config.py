@@ -114,7 +114,12 @@ class EireneConfig:
     enable_combining: bool = True
     #: §5 locality-aware warp reorganization (iteration warps + RF field).
     enable_locality: bool = True
-    #: §4.2 split query/update requests into separate kernels.
+    #: §4.2 split query/update requests into separate kernels. When False
+    #: the pipeline selects one *unified* kernel pass instead
+    #: (:func:`repro.core.pipeline.eirene_pass_plan`): queries share the
+    #: launch with writers, lose the NTG search, and must read their leaf
+    #: inside an STM leaf-region transaction (ablation of the paper's
+    #: query/update kernel split).
     enable_kernel_partition: bool = True
     #: §4.2 retries of unprotected inner traversal before STM protection.
     stm_retry_threshold: int = 3

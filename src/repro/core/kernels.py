@@ -32,6 +32,7 @@ from ..btree.device_ops import (
     d_leaf_delete_stm,
     d_leaf_upsert_stm,
     d_search_leaf,
+    d_search_leaf_stm,
     d_smo_upsert,
     d_walk_leaves,
 )
@@ -83,6 +84,46 @@ def d_range_raw(tree: BPlusTree, lo: int, hi: int):
             return ks, vs, steps
         node = nxt
         steps += 1
+
+
+def d_protected_query(tree: BPlusTree, stm: DeviceStm, key: int, leaf_hint: int | None = None):
+    """Point query inside a *unified* (non-partitioned) kernel.
+
+    Without kernel partition, a query can race a concurrent writer splitting
+    its leaf, so the leaf read runs inside a short STM leaf-region
+    transaction (the reader analogue of Algorithm 1's leaf-region tx): the
+    inner traversal stays unprotected, the leaf scan is transactional, and a
+    validation failure re-finds the leaf vertically and retries.
+
+    Returns ``(value, steps, retries, horizontal, leaf)``.
+    """
+    retries = 0
+    horizontal = False
+    if leaf_hint is not None:
+        leaf, steps_total = yield from d_walk_leaves(tree, leaf_hint, key)
+        horizontal = True
+    else:
+        leaf, steps_total = yield from d_find_leaf(tree, key)
+    while True:
+        if retries > MAX_RETRIES:
+            raise SimulationError(f"protected query for key {key} livelocked")
+        tx = stm.begin()
+        try:
+            covers = yield from d_leaf_covers(tree, leaf, key)
+            yield Branch()
+            if not covers:
+                # a completed split moved the key range: not a data conflict
+                yield from stm.d_abort(tx, counted=False)
+                leaf, steps = yield from d_find_leaf(tree, key)
+                steps_total += steps
+                continue
+            val = yield from d_search_leaf_stm(tree, stm, tx, leaf, key)
+            yield from stm.d_commit(tx)
+            return val, steps_total, retries, horizontal, leaf
+        except TransactionAborted:
+            retries += 1
+            leaf, steps = yield from d_find_leaf(tree, key)
+            steps_total += steps
 
 
 @dataclass
@@ -229,7 +270,7 @@ def make_iteration_lane_program(
                 use_horizontal = buffered is not None and (
                     not enable_rf or rg_max_key[it] <= shared["rf"][it - 1]
                 )
-                if update_ctx is not None:
+                if update_ctx is not None and slot.kind != OpKind.QUERY:
                     stm, smo_addr, threshold = update_ctx
                     hint = buffered if use_horizontal else None
                     res = yield from d_update(
@@ -238,6 +279,14 @@ def make_iteration_lane_program(
                     )
                     val, steps, horiz, my_leaf = (
                         res.old, res.steps, res.horizontal, res.leaf,
+                    )
+                elif update_ctx is not None:
+                    # unified kernel: query slots ride in update-class warps
+                    # and read their leaf under STM protection
+                    stm, _smo_addr, _threshold = update_ctx
+                    hint = buffered if use_horizontal else None
+                    val, steps, _retries, horiz, my_leaf = yield from d_protected_query(
+                        tree, stm, slot.key, hint
                     )
                 else:
                     if use_horizontal:

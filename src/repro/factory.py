@@ -14,9 +14,23 @@ import numpy as np
 
 from .btree.layout import NodeLayout
 from .btree.tree import BPlusTree
-from .config import DeviceConfig, TreeConfig
+from .config import COMBINING_ONLY, DeviceConfig, EireneConfig, FULL_EIRENE, TreeConfig
 from .memory import MemoryArena
 from .stm import StmRegion
+
+#: Eirene ablation variants by name. Each maps to an
+#: :class:`~repro.config.EireneConfig` whose feature flags select a
+#: different pass list (:func:`repro.core.pipeline.eirene_pass_plan`) —
+#: the harness builds every Fig. 11/12 bar through these names, never by
+#: branching inside system code.
+EIRENE_VARIANTS: dict[str, EireneConfig] = {
+    "eirene": FULL_EIRENE,
+    "eirene+combining": COMBINING_ONLY,  # Fig. 11's "+ Combining" bar
+    "eirene-no-locality": COMBINING_ONLY,
+    "eirene-no-rf": EireneConfig(enable_rf_decision=False),
+    "eirene-no-ntg": EireneConfig(enable_narrowed_thread_groups=False),
+    "eirene-no-partition": EireneConfig(enable_kernel_partition=False),
+}
 
 
 def build_tree(
@@ -56,8 +70,12 @@ def make_system(
 ):
     """Build a ready-to-run system by name.
 
-    ``system`` ∈ {"nocc", "stm", "lock", "eirene"}; extra kwargs go to the
-    system constructor (e.g. ``config=EireneConfig(...)`` for Eirene).
+    ``system`` ∈ {"nocc", "stm", "lock", "eirene"} or an Eirene ablation
+    variant from :data:`EIRENE_VARIANTS` (e.g. ``"eirene+combining"``,
+    ``"eirene-no-partition"``) — variants resolve to an
+    :class:`~repro.config.EireneConfig` whose flags select the pass list.
+    Extra kwargs go to the system constructor; an explicit ``config=``
+    overrides the variant's.
     """
     from .baselines.lock_gbtree import LockGBTree
     from .baselines.nocc import NoCCGBTree
@@ -74,7 +92,11 @@ def make_system(
     if name == "lock":
         tree, _, _ = build_tree(keys, values, tree_config, fill_factor, with_stm_tables=False)
         return LockGBTree(tree, device, **kwargs)
-    if name == "eirene":
+    if name in EIRENE_VARIANTS:
+        kwargs.setdefault("config", EIRENE_VARIANTS[name])
         tree, region, smo = build_tree(keys, values, tree_config, fill_factor)
         return EireneTree(tree, region, smo, device, **kwargs)
-    raise ValueError(f"unknown system {system!r}; use nocc/stm/lock/eirene")
+    raise ValueError(
+        f"unknown system {system!r}; use nocc/stm/lock or one of "
+        f"{sorted(EIRENE_VARIANTS)}"
+    )

@@ -2,6 +2,7 @@
 
 from .ablations import (
     ablate_iteration_depth,
+    ablate_kernel_partition,
     ablate_retry_threshold,
     ablate_rf_decision,
     ablate_skew,
@@ -33,6 +34,7 @@ from .report import FigureResult
 __all__ = [
     "COMBINING_ONLY_CFG",
     "ablate_iteration_depth",
+    "ablate_kernel_partition",
     "ablate_retry_threshold",
     "ablate_rf_decision",
     "ablate_skew",

@@ -32,6 +32,7 @@ RUNNERS = {
     "ablation-threshold": lambda cfg: ablations.ablate_retry_threshold(),
     "ablation-depth": lambda cfg: ablations.ablate_iteration_depth(),
     "ablation-rf": lambda cfg: ablations.ablate_rf_decision(),
+    "ablation-partition": lambda cfg: ablations.ablate_kernel_partition(),
     "ablation-skew": lambda cfg: ablations.ablate_skew(),
 }
 

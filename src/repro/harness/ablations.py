@@ -96,6 +96,40 @@ def ablate_rf_decision(cfg: ExperimentConfig | None = None) -> FigureResult:
     return fig
 
 
+def ablate_kernel_partition(cfg: ExperimentConfig | None = None) -> FigureResult:
+    """§4.2 knob: split query/update kernels vs one unified kernel.
+
+    ``enable_kernel_partition=False`` selects the ``unified_kernel`` pass
+    (see :func:`repro.core.pipeline.eirene_pass_plan`): queries share the
+    launch with writers, so they lose the NTG search and must read their
+    leaf under STM protection, exposed to writer aborts. The sweep shows
+    why the paper runs queries in their own unsynchronized kernel.
+    """
+    cfg = cfg or ExperimentConfig()
+    fig = FigureResult(
+        figure="Ablation E",
+        title="Eirene: kernel partition on/off (unified queries pay STM reads)",
+        columns=["Mreq/s", "conflicts_per_req", "mem_per_req"],
+    )
+    for label, name in (
+        ("partitioned kernels", "eirene"),
+        ("unified kernel", "eirene-no-partition"),
+    ):
+        run = run_system(name, cfg)
+        fig.add_row(
+            label,
+            run.outcome.throughput.mops,
+            run.outcome.conflicts_per_request,
+            run.outcome.mem_inst_per_request,
+        )
+    fig.paper_notes = [
+        "paper §4.2: partition exists so the query kernel runs with no "
+        "synchronization at all; merging the kernels forces protection "
+        "(and reader aborts) back onto the read path",
+    ]
+    return fig
+
+
 def ablate_skew(
     cfg: ExperimentConfig | None = None,
     thetas: tuple[float, ...] = (0.0, 0.5, 0.9, 0.99),

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..baselines.base import BatchOutcome, System, merge_outcomes
 from ..config import DeviceConfig, EireneConfig, TreeConfig
-from ..factory import make_system
+from ..factory import EIRENE_VARIANTS, make_system
 from ..lincheck import SequentialReference, check_linearizable
 from ..workloads import PAPER_DEFAULT, YcsbMix, YcsbWorkload, build_key_pool
 
@@ -28,6 +28,10 @@ SYSTEM_LABELS = {
     "lock": "Lock GB-tree",
     "eirene": "Eirene",
     "eirene+combining": "+ Combining",
+    "eirene-no-locality": "Eirene (no locality)",
+    "eirene-no-rf": "Eirene (no RF decision)",
+    "eirene-no-ntg": "Eirene (no NTG search)",
+    "eirene-no-partition": "Eirene (unified kernel)",
 }
 
 
@@ -90,14 +94,21 @@ def run_system(
     cfg: ExperimentConfig,
     eirene_config: EireneConfig | None = None,
 ) -> SystemRun:
-    """Build a fresh tree for ``system`` and stream the experiment at it."""
+    """Build a fresh tree for ``system`` and stream the experiment at it.
+
+    ``system`` may be any Eirene variant name from
+    :data:`repro.factory.EIRENE_VARIANTS` — the factory resolves it to the
+    pass selection; an explicit ``eirene_config`` overrides the variant's.
+    """
     rng = np.random.default_rng(cfg.seed)
     keys, values = build_key_pool(cfg.tree_size, rng)
     kwargs = {}
     name = system
-    if system.startswith("eirene") and eirene_config is not None:
-        kwargs["config"] = eirene_config
-        name = "eirene"
+    if system.startswith("eirene"):
+        if eirene_config is not None:
+            kwargs["config"] = eirene_config
+        if name not in EIRENE_VARIANTS:
+            name = "eirene"
     sys_ = make_system(
         name, keys, values,
         tree_config=cfg.tree_config,

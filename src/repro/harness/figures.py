@@ -11,14 +11,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..config import EireneConfig
+from ..factory import EIRENE_VARIANTS
 from ..workloads import RANGE_4, RANGE_8
 from . import paper
 from .experiment import ExperimentConfig, SystemRun, run_all, run_system
 from .report import FigureResult
 
-#: locality off, combining on — the "+ Combining" bar of Fig. 11/12
-COMBINING_ONLY_CFG = EireneConfig(enable_locality=False)
+#: locality off, combining on — the "+ Combining" bar of Fig. 11/12.
+#: Kept as an alias of the factory's variant table; the figure runners
+#: below select the variant *by name*, which picks the pass list via
+#: :func:`repro.core.pipeline.eirene_pass_plan`.
+COMBINING_ONLY_CFG = EIRENE_VARIANTS["eirene+combining"]
 
 
 def default_config(**overrides) -> ExperimentConfig:
@@ -238,17 +241,18 @@ def fig11_design_choices(
         title="throughput (Mreq/s): STM baseline vs +Combining vs Eirene",
         columns=[f"2^{k}" for k in tree_sizes_log2],
     )
+    # each series is a system / pass-selection variant name (EIRENE_VARIANTS)
     series = {
-        "STM GB-tree": ("stm", None),
-        "Lock GB-tree": ("lock", None),
-        "+ Combining": ("eirene+combining", COMBINING_ONLY_CFG),
-        "Eirene": ("eirene", None),
+        "STM GB-tree": "stm",
+        "Lock GB-tree": "lock",
+        "+ Combining": "eirene+combining",
+        "Eirene": "eirene",
     }
     values: dict[str, list[float]] = {}
-    for label, (name, ecfg) in series.items():
+    for label, name in series.items():
         vals = []
         for k in tree_sizes_log2:
-            run = run_system(name, cfg.with_(tree_size=2**k), eirene_config=ecfg)
+            run = run_system(name, cfg.with_(tree_size=2**k))
             vals.append(run.outcome.throughput.mops)
         values[label] = vals
         fig.add_row(label, *vals)
@@ -292,12 +296,12 @@ def fig12_optimization_contributions(cfg: ExperimentConfig | None = None) -> Fig
 
     dense_runs = {
         "stm": run_system("stm", dense),
-        "comb": run_system("eirene+combining", dense, eirene_config=COMBINING_ONLY_CFG),
+        "comb": run_system("eirene+combining", dense),
         "full": run_system("eirene", dense),
     }
     hot_runs = {
         "stm": run_system("stm", hot),
-        "comb": run_system("eirene+combining", hot, eirene_config=COMBINING_ONLY_CFG),
+        "comb": run_system("eirene+combining", hot),
         "full": run_system("eirene", hot),
     }
     conf_comb, conf_loc = reductions(hot_runs, "conflicts")

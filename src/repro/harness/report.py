@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 
@@ -33,6 +34,21 @@ class FigureResult:
         """rows[a][col] / rows[b][col] — speedups and normalizations."""
         denom = self.value(label_b, column)
         return self.value(label_a, column) / denom if denom else float("inf")
+
+    def to_dict(self) -> dict:
+        return {
+            "figure": self.figure,
+            "title": self.title,
+            "columns": self.columns,
+            "rows": self.rows,
+            "paper_notes": self.paper_notes,
+            "notes": self.notes,
+        }
+
+    def to_json(self, **kwargs) -> str:
+        """Machine-readable form of the table (numpy scalars coerced)."""
+        kwargs.setdefault("default", float)
+        return json.dumps(self.to_dict(), **kwargs)
 
     def render(self, width: int = 30) -> str:
         lines = [f"=== {self.figure}: {self.title} ==="]

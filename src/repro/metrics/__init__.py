@@ -1,14 +1,19 @@
-"""Metrics: throughput, QoS (response-time variance), instruction profiles."""
+"""Metrics: throughput, QoS (response-time variance), instruction profiles,
+and per-pass pipeline traces."""
 
 from .profile import InstructionProfile, ProfileTable
 from .qos import ResponseTimeStats, response_time_stats
 from .throughput import ThroughputResult, combine
+from .trace import PassRecord, PipelineTrace, merge_traces
 
 __all__ = [
     "InstructionProfile",
+    "PassRecord",
+    "PipelineTrace",
     "ProfileTable",
     "ResponseTimeStats",
     "ThroughputResult",
     "combine",
+    "merge_traces",
     "response_time_stats",
 ]

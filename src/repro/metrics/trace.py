@@ -1,0 +1,166 @@
+"""Structured per-pass tracing for the pass pipeline.
+
+Every :class:`~repro.core.pipeline.PassPipeline` run produces a
+:class:`PipelineTrace`: one :class:`PassRecord` per executed pass, holding
+the pass's host wall-clock cost (what the *simulation* spent) and its
+*modeled* contribution — device seconds added to the batch's
+:class:`~repro.simt.PhaseTime` plus instruction/transaction/conflict
+deltas. By construction the modeled seconds of a trace sum to the batch's
+reported ``seconds``, so a trace is a faithful per-phase breakdown of every
+:class:`~repro.baselines.base.BatchOutcome`.
+
+The trace is plain data: it renders as a text table (:meth:`PipelineTrace.render`)
+and round-trips through JSON (:meth:`PipelineTrace.to_json` /
+:meth:`PipelineTrace.from_json`) so harness runs can persist it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field, fields
+
+
+@dataclass
+class PassRecord:
+    """Measured and modeled contribution of one pass in one pipeline run."""
+
+    name: str
+    #: host wall-clock seconds the pass took to simulate
+    wall_s: float = 0.0
+    #: modeled device seconds this pass added to the batch's PhaseTime
+    modeled_s: float = 0.0
+    mem_inst: float = 0.0
+    control_inst: float = 0.0
+    alu_inst: float = 0.0
+    atomic_inst: float = 0.0
+    transactions: float = 0.0
+    conflicts: float = 0.0
+
+    _NUMERIC = (
+        "wall_s",
+        "modeled_s",
+        "mem_inst",
+        "control_inst",
+        "alu_inst",
+        "atomic_inst",
+        "transactions",
+        "conflicts",
+    )
+
+    def merged(self, other: "PassRecord") -> "PassRecord":
+        """Sum of two records of the same pass (multi-batch aggregation)."""
+        if other.name != self.name:
+            raise ValueError(f"cannot merge pass {other.name!r} into {self.name!r}")
+        kwargs = {f: getattr(self, f) + getattr(other, f) for f in self._NUMERIC}
+        return PassRecord(name=self.name, **kwargs)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PassRecord":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in d.items() if k in known})
+
+
+@dataclass
+class PipelineTrace:
+    """Per-pass breakdown of one (or several merged) pipeline runs."""
+
+    system: str = ""
+    engine: str = ""
+    records: list[PassRecord] = field(default_factory=list)
+
+    @property
+    def modeled_total_s(self) -> float:
+        """Sum of modeled pass seconds — equals the batch's ``seconds``."""
+        return sum(r.modeled_s for r in self.records)
+
+    @property
+    def wall_total_s(self) -> float:
+        return sum(r.wall_s for r in self.records)
+
+    @property
+    def pass_names(self) -> tuple[str, ...]:
+        return tuple(r.name for r in self.records)
+
+    def record(self, name: str) -> PassRecord:
+        for r in self.records:
+            if r.name == name:
+                return r
+        raise KeyError(f"no pass {name!r} in trace ({self.pass_names})")
+
+    def merged(self, other: "PipelineTrace") -> "PipelineTrace":
+        """Aggregate another run's trace (pass records summed by name).
+
+        Passes only one side ran (e.g. a variant with an extra pass) are
+        kept as-is, in first-seen order.
+        """
+        out: list[PassRecord] = [
+            PassRecord(name=r.name, **{f: getattr(r, f) for f in PassRecord._NUMERIC})
+            for r in self.records
+        ]
+        index = {r.name: i for i, r in enumerate(out)}
+        for r in other.records:
+            if r.name in index:
+                out[index[r.name]] = out[index[r.name]].merged(r)
+            else:
+                index[r.name] = len(out)
+                out.append(PassRecord.from_dict(r.to_dict()))
+        return PipelineTrace(system=self.system, engine=self.engine, records=out)
+
+    # ------------------------------------------------------------------ #
+    # rendering / serialization
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Text table: one row per pass, modeled share, instruction deltas."""
+        total = self.modeled_total_s
+        head = f"pipeline trace [{self.system} / {self.engine}]"
+        lines = [
+            head,
+            f"{'pass':<16}{'modeled_s':>12}{'share':>8}{'mem':>12}"
+            f"{'ctrl':>12}{'conflicts':>11}{'wall_ms':>9}",
+        ]
+        for r in self.records:
+            share = 100.0 * r.modeled_s / total if total > 0 else 0.0
+            lines.append(
+                f"{r.name:<16}{r.modeled_s:>12.3e}{share:>7.1f}%"
+                f"{r.mem_inst:>12.1f}{r.control_inst:>12.1f}"
+                f"{r.conflicts:>11.1f}{r.wall_s * 1e3:>9.2f}"
+            )
+        lines.append(
+            f"{'total':<16}{total:>12.3e}{'100.0%' if total > 0 else '  0.0%':>8}"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "system": self.system,
+            "engine": self.engine,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, **kwargs) -> str:
+        return json.dumps(self.to_dict(), **kwargs)
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "PipelineTrace":
+        return cls(
+            system=d.get("system", ""),
+            engine=d.get("engine", ""),
+            records=[PassRecord.from_dict(r) for r in d.get("records", [])],
+        )
+
+    @classmethod
+    def from_json(cls, s: str) -> "PipelineTrace":
+        return cls.from_dict(json.loads(s))
+
+
+def merge_traces(traces: list["PipelineTrace"]) -> "PipelineTrace | None":
+    """Aggregate traces of several batches; None when any batch lacks one."""
+    if not traces or any(t is None for t in traces):
+        return None
+    out = traces[0]
+    for t in traces[1:]:
+        out = out.merged(t)
+    return out

@@ -1,0 +1,131 @@
+"""Per-pass tracing: every BatchOutcome carries a PipelineTrace whose
+modeled pass seconds sum to the outcome's ``seconds`` and whose
+instruction deltas sum to the outcome's event totals, for all four
+systems on both engines. Plus plain-data behavior: JSON round-trip,
+merged() aggregation, render()."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro import YcsbMix, YcsbWorkload
+from repro.baselines.base import merge_outcomes
+from repro.metrics import PassRecord, PipelineTrace, merge_traces
+from tests.conftest import make_test_system
+
+ALL_SYSTEMS = ("nocc", "stm", "lock", "eirene")
+MIXED = YcsbMix(query=0.6, update=0.2, insert=0.1, delete=0.05, range_=0.05)
+
+TOTAL_FIELDS = (
+    ("mem_inst", "mem_inst"),
+    ("control_inst", "control_inst"),
+    ("alu_inst", "alu_inst"),
+    ("atomic_inst", "atomic_inst"),
+    ("transactions", "transactions"),
+    ("conflicts", "conflicts"),
+)
+
+
+def _run(name: str, engine: str, rng):
+    sys_, keys = make_test_system(name, rng)
+    wl = YcsbWorkload(pool=keys, mix=MIXED)
+    batch = wl.generate(512, rng)
+    return sys_.process_batch(batch, engine=engine)
+
+
+@pytest.mark.parametrize("engine", ["vector", "simt"])
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_trace_sums_to_outcome(name, engine, rng):
+    out = _run(name, engine, rng)
+    trace = out.trace
+    assert trace is not None
+    assert trace.system and trace.engine == engine
+    assert len(trace.records) >= 2  # at least a kernel pass + finalize
+    # modeled pass seconds account for the whole batch time
+    assert math.isclose(trace.modeled_total_s, out.seconds, rel_tol=1e-9)
+    # instruction/transaction/conflict deltas sum to the outcome totals
+    for trace_field, out_field in TOTAL_FIELDS:
+        got = sum(getattr(r, trace_field) for r in trace.records)
+        want = float(getattr(out, out_field))
+        assert math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-9), (
+            f"{name}/{engine} {trace_field}: trace sums to {got}, outcome {want}"
+        )
+    # host wall time was measured for every pass
+    assert all(r.wall_s >= 0.0 for r in trace.records)
+    assert trace.wall_total_s > 0.0
+
+
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_merged_outcomes_merge_traces(name, rng):
+    sys_, keys = make_test_system(name, rng)
+    wl = YcsbWorkload(pool=keys, mix=MIXED)
+    outs = [
+        sys_.process_batch(wl.generate(256, rng), engine="vector") for _ in range(3)
+    ]
+    merged = merge_outcomes(outs)
+    assert merged.trace is not None
+    assert merged.trace.pass_names == outs[0].trace.pass_names
+    assert math.isclose(merged.trace.modeled_total_s, merged.seconds, rel_tol=1e-9)
+    kernel = merged.trace.records[0]
+    assert math.isclose(
+        kernel.modeled_s,
+        sum(o.trace.records[0].modeled_s for o in outs),
+        rel_tol=1e-9,
+    )
+
+
+def test_trace_json_round_trip(rng):
+    out = _run("eirene", "vector", rng)
+    trace = out.trace
+    back = PipelineTrace.from_json(trace.to_json())
+    assert back.system == trace.system
+    assert back.engine == trace.engine
+    assert back.pass_names == trace.pass_names
+    for a, b in zip(trace.records, back.records):
+        for f in PassRecord._NUMERIC:
+            assert getattr(a, f) == getattr(b, f)
+    assert math.isclose(back.modeled_total_s, out.seconds, rel_tol=1e-9)
+
+
+def test_record_lookup_and_render(rng):
+    out = _run("eirene", "vector", rng)
+    trace = out.trace
+    assert trace.record("combine").name == "combine"
+    with pytest.raises(KeyError):
+        trace.record("no-such-pass")
+    text = trace.render()
+    assert "pipeline trace" in text
+    for name in trace.pass_names:
+        assert name in text
+
+
+def test_merged_keeps_one_sided_passes():
+    a = PipelineTrace(
+        system="s",
+        engine="vector",
+        records=[PassRecord("kernel", modeled_s=1.0, mem_inst=10.0)],
+    )
+    b = PipelineTrace(
+        system="s",
+        engine="vector",
+        records=[
+            PassRecord("kernel", modeled_s=2.0, mem_inst=5.0),
+            PassRecord("extra", modeled_s=0.5),
+        ],
+    )
+    m = a.merged(b)
+    assert m.pass_names == ("kernel", "extra")
+    assert m.record("kernel").modeled_s == 3.0
+    assert m.record("kernel").mem_inst == 15.0
+    assert m.record("extra").modeled_s == 0.5
+    with pytest.raises(ValueError):
+        PassRecord("x").merged(PassRecord("y"))
+
+
+def test_merge_traces_none_propagates():
+    t = PipelineTrace(system="s", engine="vector", records=[PassRecord("kernel")])
+    assert merge_traces([]) is None
+    assert merge_traces([t, None]) is None
+    assert merge_traces([t]) is t
