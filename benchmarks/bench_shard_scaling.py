@@ -1,0 +1,31 @@
+"""Shard scaling — modeled throughput vs shard count (serving-layer extension).
+
+Not a paper figure: the ROADMAP's sharding direction measured with the same
+harness. Shards model independent devices behind a key-range router, so the
+merged batch time is the straggler shard's and the uniform YCSB default mix
+should scale near-linearly. Assertions: monotone speedup, and the
+acceptance floor of >= 1.5x modeled throughput at 4 shards vs 1.
+"""
+
+from conftest import emit
+
+from repro.harness import shard_scaling
+
+COUNTS = (1, 2, 4, 8)
+
+
+def test_shard_scaling(benchmark, base_config, results_dir):
+    cfg = base_config.with_(n_batches=2)
+    fig = benchmark.pedantic(
+        lambda: shard_scaling(cfg, COUNTS), rounds=1, iterations=1
+    )
+    emit(fig, results_dir)
+
+    speedups = [fig.value(f"{n} shard{'s' if n > 1 else ''}", "speedup") for n in COUNTS]
+    assert speedups[0] == 1.0
+    assert all(b > a for a, b in zip(speedups, speedups[1:]))
+    at4 = speedups[COUNTS.index(4)]
+    assert at4 >= 1.5, f"4-shard speedup {at4:.2f}x below the 1.5x floor"
+    # per-shard trace output accompanies every row
+    assert any("merged trace" in note for note in fig.notes)
+    assert any("shard 0:" in note for note in fig.notes)

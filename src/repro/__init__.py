@@ -31,6 +31,7 @@ from .baselines import (
 from .btree import BPlusTree
 from .config import COMBINING_ONLY, FULL_EIRENE, DeviceConfig, EireneConfig, TreeConfig
 from .core import EireneTree
+from .device import DeviceContext, DeviceSnapshot
 from .errors import (
     ConfigError,
     LinearizabilityViolation,
@@ -39,10 +40,11 @@ from .errors import (
     TreeError,
     WorkloadError,
 )
-from .factory import build_tree, make_system
+from .factory import build_device_tree, build_tree, make_system
 from .lincheck import SequentialReference, check_linearizable
 from .memory import MemoryArena
-from .metrics import ResponseTimeStats, ThroughputResult, response_time_stats
+from .metrics import ResponseTimeStats, ShardQoS, ThroughputResult, response_time_stats
+from .sharding import ShardPlan, ShardRouter, ShardedSystem
 from .workloads import (
     PAPER_DEFAULT,
     RANGE_4,
@@ -63,6 +65,8 @@ __all__ = [
     "COMBINING_ONLY",
     "ConfigError",
     "DeviceConfig",
+    "DeviceContext",
+    "DeviceSnapshot",
     "EMPTY_KEY",
     "EireneConfig",
     "EireneTree",
@@ -82,6 +86,10 @@ __all__ = [
     "RequestBatch",
     "ResponseTimeStats",
     "SequentialReference",
+    "ShardPlan",
+    "ShardQoS",
+    "ShardRouter",
+    "ShardedSystem",
     "StmGBTree",
     "System",
     "ThroughputResult",
@@ -91,6 +99,7 @@ __all__ = [
     "WorkloadError",
     "YcsbMix",
     "YcsbWorkload",
+    "build_device_tree",
     "build_key_pool",
     "build_tree",
     "check_linearizable",

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..config import DeviceConfig
+from ..device import DeviceContext
 from ..errors import ConfigError
 from ..lincheck import SequentialReference
 from ..metrics import (
@@ -161,9 +162,22 @@ class System(abc.ABC):
 
     name: str = "abstract"
 
-    def __init__(self, tree: BPlusTree, device: DeviceConfig | None = None) -> None:
+    def __init__(
+        self,
+        tree: BPlusTree,
+        device: DeviceConfig | None = None,
+        devctx: DeviceContext | None = None,
+    ) -> None:
+        if devctx is None:
+            # legacy construction path: wrap the tree's arena in a context
+            devctx = DeviceContext.adopt(tree.arena, device)
+        elif devctx.arena is not tree.arena:
+            raise ConfigError("devctx must own the arena the tree lives in")
+        elif device is not None and device != devctx.device:
+            raise ConfigError("device config disagrees with devctx.device")
+        self.devctx = devctx
         self.tree = tree
-        self.device = device or DeviceConfig()
+        self.device = devctx.device
         self.imodel = InstModel(tree.layout.fanout)
 
     def process_batch(self, batch: RequestBatch, engine: str = "vector") -> BatchOutcome:

@@ -28,7 +28,6 @@ from ..btree.device_ops import (
     d_release_all,
     d_search_leaf,
 )
-from ..btree.layout import OFF_COUNT, OFF_LOCK, OFF_NEXT, OFF_VERSION
 from ..btree.tree import BPlusTree
 from ..config import DeviceConfig
 from ..core.pipeline import (
@@ -41,7 +40,7 @@ from ..core.pipeline import (
     WeightedResponsePass,
 )
 from ..locks import LatchTable
-from ..simt import Branch, KernelLaunch, Load, Mark
+from ..simt import Branch, Load, Mark
 from .base import System
 from .model import OVERLAP, EventTotals, writer_collision_groups
 
@@ -161,7 +160,7 @@ class LockSimtKernelPass(Pass):
 
             return program()
 
-        launch = KernelLaunch(ctx.device, tree.arena, n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(n, rng=ctx.launch_rng())
         launch.add_programs([make_program(i) for i in range(n)])
         counters = launch.run()
         results.set_range_results(
@@ -193,8 +192,13 @@ class LockGBTree(System):
 
     name = "Lock GB-tree"
 
-    def __init__(self, tree: BPlusTree, device: DeviceConfig | None = None) -> None:
-        super().__init__(tree, device)
+    def __init__(
+        self,
+        tree: BPlusTree,
+        device: DeviceConfig | None = None,
+        devctx=None,
+    ) -> None:
+        super().__init__(tree, device, devctx)
         self.latches = LatchTable(tree.arena)
 
     def build_pipeline(self, engine: str) -> PassPipeline:
@@ -228,21 +232,21 @@ def _d_update_locked(tree: BPlusTree, latches: LatchTable, kind: int, key: int, 
 
     Returns (old value, traversal steps of the final successful attempt).
     """
-    lay = tree.layout
     while True:
         leaf, steps = yield from d_find_leaf_locked_query(tree, latches, key)
-        yield from latches.d_acquire(lay.addr(leaf, OFF_LOCK), owner)
+        lock = tree.views.addrs(leaf).lock
+        yield from latches.d_acquire(lock, owner)
         covers = yield from d_leaf_covers(tree, leaf, key)
         yield Branch()
         if not covers:
-            yield from latches.d_release(lay.addr(leaf, OFF_LOCK))
+            yield from latches.d_release(lock)
             continue  # a split moved the key range: retry descent
         if kind == OpKind.DELETE:
             old = yield from d_leaf_delete_device(tree, leaf, key)
-            yield from latches.d_release(lay.addr(leaf, OFF_LOCK))
+            yield from latches.d_release(lock)
             return old, steps
         old, needs_split = yield from d_leaf_upsert_device(tree, leaf, key, value)
-        yield from latches.d_release(lay.addr(leaf, OFF_LOCK))
+        yield from latches.d_release(lock)
         yield Branch()
         if not needs_split:
             return old, steps
@@ -255,33 +259,33 @@ def _d_update_locked(tree: BPlusTree, latches: LatchTable, kind: int, key: int, 
 
 def _d_range_scan_locked(tree: BPlusTree, latches: LatchTable, leaf: int, lo: int, hi: int):
     """Leaf-chain scan with per-leaf latch/version validation (retry leaf)."""
-    lay = tree.layout
     ks: list[int] = []
     vs: list[int] = []
     node = leaf
     while True:
+        a = tree.views.addrs(node)
         while True:  # validated read of one leaf
-            locked = yield from latches.d_is_locked(lay.addr(node, OFF_LOCK))
+            locked = yield from latches.d_is_locked(a.lock)
             if locked:
                 continue
-            ver = yield Load(lay.addr(node, OFF_VERSION))
-            cnt = yield Load(lay.addr(node, OFF_COUNT))
+            ver = yield Load(a.version)
+            cnt = yield Load(a.count)
             yield Branch()
             tmp_k: list[int] = []
             tmp_v: list[int] = []
             done = False
             for slot in range(cnt):
-                k = yield Load(lay.key_addr(node, slot))
+                k = yield Load(a.keys[slot])
                 yield Branch()
                 if k > hi:
                     done = True
                     break
                 if k >= lo:
-                    v = yield Load(lay.payload_addr(node, slot))
+                    v = yield Load(a.values[slot])
                     tmp_k.append(int(k))
                     tmp_v.append(int(v))
-            nxt = yield Load(lay.addr(node, OFF_NEXT))
-            ver2 = yield Load(lay.addr(node, OFF_VERSION))
+            nxt = yield Load(a.next_leaf)
+            ver2 = yield Load(a.version)
             yield Branch()
             if ver2 == ver:
                 ks.extend(tmp_k)

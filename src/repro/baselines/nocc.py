@@ -27,7 +27,7 @@ from ..core.pipeline import (
     SimtResponsePass,
     WeightedResponsePass,
 )
-from ..simt import KernelLaunch, Mark, Store
+from ..simt import Mark, Store
 from .base import System
 from .model import EventTotals
 
@@ -107,7 +107,7 @@ class NoCCSimtKernelPass(Pass):
 
             return program()
 
-        launch = KernelLaunch(ctx.device, tree.arena, n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(n, rng=ctx.launch_rng())
         launch.add_programs([make_program(i) for i in range(n)])
         counters = launch.run()
         results.set_range_results(ranges)
@@ -148,8 +148,8 @@ class NoCCGBTree(System):
 def _charge_leaf_write(tree, leaf: int):
     """Charge the stores an in-leaf mutation performs (idempotent rewrites
     of the leaf's current contents — same addresses, same coalescing)."""
-    lay = tree.layout
+    keys = tree.views.addrs(leaf).keys
     data = tree.arena.data
-    for slot in range(lay.fanout // 2 + 1):
-        addr = lay.key_addr(leaf, slot)
+    for slot in range(tree.layout.fanout // 2 + 1):
+        addr = keys[slot]
         yield Store(addr, int(data[addr]))

@@ -25,7 +25,6 @@ from ..btree.device_ops import (
     d_search_leaf_stm,
     d_smo_upsert,
 )
-from ..btree.layout import OFF_COUNT, OFF_NEXT
 from ..btree.tree import BPlusTree
 from ..config import DeviceConfig
 from ..core.pipeline import (
@@ -38,7 +37,7 @@ from ..core.pipeline import (
     WeightedResponsePass,
 )
 from ..errors import SimulationError, TransactionAborted
-from ..simt import Branch, KernelLaunch, Mark
+from ..simt import Branch, Mark
 from ..stm import DeviceStm, StmRegion
 from .base import System
 from .model import OVERLAP, EventTotals, writer_collision_groups
@@ -188,7 +187,7 @@ class StmSimtKernelPass(Pass):
 
             return program()
 
-        launch = KernelLaunch(ctx.device, tree.arena, n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(n, rng=ctx.launch_rng())
         launch.add_programs([make_program(i) for i in range(n)])
         counters = launch.run()
         results.set_range_results(
@@ -227,8 +226,9 @@ class StmGBTree(System):
         stm_region: StmRegion,
         smo_lock_addr: int,
         device: DeviceConfig | None = None,
+        devctx=None,
     ) -> None:
-        super().__init__(tree, device)
+        super().__init__(tree, device, devctx)
         self.stm = DeviceStm(tree.arena, stm_region)
         self.smo_lock_addr = smo_lock_addr
 
@@ -257,25 +257,25 @@ def _range_spans(tree: BPlusTree, batch, range_idx: np.ndarray) -> np.ndarray:
 
 def _d_range_scan_stm(tree: BPlusTree, stm: DeviceStm, tx, leaf: int, lo: int, hi: int):
     """Transactional leaf-chain scan collecting pairs in [lo, hi]."""
-    lay = tree.layout
     ks: list[int] = []
     vs: list[int] = []
     node = leaf
     while True:
-        cnt = yield from stm.d_read(tx, lay.addr(node, OFF_COUNT))
+        a = tree.views.addrs(node)
+        cnt = yield from stm.d_read(tx, a.count)
         yield Branch()
         done = False
         for slot in range(cnt):
-            k = yield from stm.d_read(tx, lay.key_addr(node, slot))
+            k = yield from stm.d_read(tx, a.keys[slot])
             yield Branch()
             if k > hi:
                 done = True
                 break
             if k >= lo:
-                v = yield from stm.d_read(tx, lay.payload_addr(node, slot))
+                v = yield from stm.d_read(tx, a.values[slot])
                 ks.append(int(k))
                 vs.append(int(v))
-        nxt = yield from stm.d_read(tx, lay.addr(node, OFF_NEXT))
+        nxt = yield from stm.d_read(tx, a.next_leaf)
         yield Branch()
         if done or nxt == -1:
             return ks, vs

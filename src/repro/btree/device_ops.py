@@ -16,7 +16,10 @@ Building blocks the baselines' and Eirene's kernels compose:
   stores transactionally, without torn intermediate states.
 
 All functions are generators; compose with ``yield from`` and catch
-:class:`~repro.errors.TransactionAborted` at retry boundaries.
+:class:`~repro.errors.TransactionAborted` at retry boundaries. Node fields
+are addressed through the typed address plane
+(:meth:`~repro.btree.views.StructView.addrs` — ``a.count``, ``a.keys[slot]``)
+so the word-offset arithmetic lives only in :mod:`repro.btree.views`.
 """
 
 from __future__ import annotations
@@ -26,15 +29,6 @@ from ..errors import SimulationError, TransactionAborted
 from ..locks import LatchTable
 from ..simt.instructions import Alu, AtomicCAS, Branch, Load, Store
 from ..stm import FREE, DeviceStm, Tx
-from .layout import (
-    OFF_COUNT,
-    OFF_FENCE,
-    OFF_LEAF,
-    OFF_LOCK,
-    OFF_NEXT,
-    OFF_RF,
-    OFF_VERSION,
-)
 from .tree import BPlusTree
 
 #: safety valve for leaf-chain walks (a correct walk is bounded by the leaf
@@ -52,10 +46,10 @@ def d_child_slot(tree: BPlusTree, node: int, key: int):
     never needs the count word — one load + one branch per separator
     examined, with early exit, exactly like the branch-free GPU layout.
     """
-    lay = tree.layout
+    keys = tree.views.addrs(node).keys
     slot = 0
-    while slot < lay.fanout:
-        k = yield Load(lay.key_addr(node, slot))
+    while slot < len(keys):
+        k = yield Load(keys[slot])
         yield Branch()
         if key < k:
             break
@@ -65,27 +59,27 @@ def d_child_slot(tree: BPlusTree, node: int, key: int):
 
 def d_find_leaf(tree: BPlusTree, key: int):
     """Vertical root-to-leaf traversal; returns (leaf id, nodes visited)."""
-    lay = tree.layout
     node = tree.root
     steps = 1
     while True:
-        is_leaf = yield Load(lay.addr(node, OFF_LEAF))
+        a = tree.views.addrs(node)
+        is_leaf = yield Load(a.leaf)
         yield Branch()
         if is_leaf:
             return node, steps
         slot = yield from d_child_slot(tree, node, key)
-        node = yield Load(lay.payload_addr(node, slot))
+        node = yield Load(a.children[slot])
         steps += 1
 
 
 def d_search_leaf(tree: BPlusTree, leaf: int, key: int):
     """Scan a leaf for ``key``; returns its value or ``NULL_VALUE``."""
-    lay = tree.layout
-    for slot in range(lay.fanout):
-        k = yield Load(lay.key_addr(leaf, slot))
+    a = tree.views.addrs(leaf)
+    for slot in range(tree.layout.fanout):
+        k = yield Load(a.keys[slot])
         yield Branch()
         if k == key:
-            val = yield Load(lay.payload_addr(leaf, slot))
+            val = yield Load(a.values[slot])
             return val
         if k > key:
             return NULL_VALUE
@@ -98,15 +92,15 @@ def d_leaf_covers(tree: BPlusTree, leaf: int, key: int):
     True iff the leaf's first key is <= key (or the leaf is leftmost for
     this key) and the right sibling's first key (if any) is > key.
     """
-    lay = tree.layout
-    fence = yield Load(lay.addr(leaf, OFF_FENCE))
+    a = tree.views.addrs(leaf)
+    fence = yield Load(a.fence)
     yield Branch()
     if key < fence:
         return False  # the reference points right of the key's range
-    nxt = yield Load(lay.addr(leaf, OFF_NEXT))
+    nxt = yield Load(a.next_leaf)
     yield Branch()
     if nxt != NO_NODE:
-        nxt_fence = yield Load(lay.addr(nxt, OFF_FENCE))
+        nxt_fence = yield Load(tree.views.addrs(nxt).fence)
         yield Branch()
         if nxt_fence <= key:
             # a split moved this key's range to the right sibling
@@ -118,17 +112,16 @@ def d_walk_leaves(tree: BPlusTree, start_leaf: int, key: int):
     """Horizontal traversal (§5): follow the leaf chain from ``start_leaf``
     until reaching the leaf whose fence range covers ``key``.
     Returns (leaf, steps)."""
-    lay = tree.layout
     node = start_leaf
     steps = 1  # inspecting the buffered leaf counts as a step
     while True:
         if steps > MAX_HORIZONTAL_STEPS:
             raise SimulationError("leaf chain walk did not terminate")
-        nxt = yield Load(lay.addr(node, OFF_NEXT))
+        nxt = yield Load(tree.views.addrs(node).next_leaf)
         yield Branch()
         if nxt == NO_NODE:
             return node, steps
-        nxt_fence = yield Load(lay.addr(nxt, OFF_FENCE))
+        nxt_fence = yield Load(tree.views.addrs(nxt).fence)
         yield Branch()
         if nxt_fence > key:
             return node, steps
@@ -140,10 +133,10 @@ def d_walk_leaves(tree: BPlusTree, start_leaf: int, key: int):
 # STM-protected plane
 # --------------------------------------------------------------------- #
 def d_child_slot_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, node: int, key: int):
-    lay = tree.layout
+    keys = tree.views.addrs(node).keys
     slot = 0
-    while slot < lay.fanout:
-        k = yield from stm.d_read(tx, lay.key_addr(node, slot))
+    while slot < len(keys):
+        k = yield from stm.d_read(tx, keys[slot])
         yield Branch()
         if key < k:
             break
@@ -154,26 +147,26 @@ def d_child_slot_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, node: int, key: in
 def d_find_leaf_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, key: int):
     """STM-protected vertical traversal (STM GB-tree; Eirene past the retry
     threshold). Every word goes through the transactional read protocol."""
-    lay = tree.layout
     node = tree.root
     steps = 1
     while True:
-        is_leaf = yield from stm.d_read(tx, lay.addr(node, OFF_LEAF))
+        a = tree.views.addrs(node)
+        is_leaf = yield from stm.d_read(tx, a.leaf)
         yield Branch()
         if is_leaf:
             return node, steps
         slot = yield from d_child_slot_stm(tree, stm, tx, node, key)
-        node = yield from stm.d_read(tx, lay.payload_addr(node, slot))
+        node = yield from stm.d_read(tx, a.children[slot])
         steps += 1
 
 
 def d_search_leaf_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: int):
-    lay = tree.layout
-    for slot in range(lay.fanout):
-        k = yield from stm.d_read(tx, lay.key_addr(leaf, slot))
+    a = tree.views.addrs(leaf)
+    for slot in range(tree.layout.fanout):
+        k = yield from stm.d_read(tx, a.keys[slot])
         yield Branch()
         if k == key:
-            val = yield from stm.d_read(tx, lay.payload_addr(leaf, slot))
+            val = yield from stm.d_read(tx, a.values[slot])
             return val
         if k > key:
             return NULL_VALUE
@@ -190,51 +183,49 @@ def d_leaf_upsert_stm(
     and the key absent — the caller must abort and take the SMO path.
     Returns (old value, needs_split flag).
     """
-    lay = tree.layout
-    cnt_addr = lay.addr(leaf, OFF_COUNT)
-    cnt = yield from stm.d_read(tx, cnt_addr)
+    a = tree.views.addrs(leaf)
+    cnt = yield from stm.d_read(tx, a.count)
     # acquire: owning the count word serializes all writers of this leaf
-    yield from stm.d_write(tx, cnt_addr, cnt)
+    yield from stm.d_write(tx, a.count, cnt)
     pos = 0
     while pos < cnt:
-        k = yield from stm.d_read(tx, lay.key_addr(leaf, pos))
+        k = yield from stm.d_read(tx, a.keys[pos])
         yield Branch()
         if k == key:
-            old = yield from stm.d_read(tx, lay.payload_addr(leaf, pos))
-            yield from stm.d_write(tx, lay.payload_addr(leaf, pos), value)
+            old = yield from stm.d_read(tx, a.values[pos])
+            yield from stm.d_write(tx, a.values[pos], value)
             return old, False
         if k > key:
             break
         pos += 1
     yield Branch()
-    if cnt >= lay.fanout:
+    if cnt >= tree.layout.fanout:
         return NULL_VALUE, True  # full leaf, absent key: needs a split
     # shift (cnt - pos) entries right, insert at pos
     for i in range(cnt - 1, pos - 1, -1):
-        k = yield from stm.d_read(tx, lay.key_addr(leaf, i))
-        v = yield from stm.d_read(tx, lay.payload_addr(leaf, i))
-        yield from stm.d_write(tx, lay.key_addr(leaf, i + 1), k)
-        yield from stm.d_write(tx, lay.payload_addr(leaf, i + 1), v)
-    yield from stm.d_write(tx, lay.key_addr(leaf, pos), key)
-    yield from stm.d_write(tx, lay.payload_addr(leaf, pos), value)
-    yield from stm.d_write(tx, cnt_addr, cnt + 1)
+        k = yield from stm.d_read(tx, a.keys[i])
+        v = yield from stm.d_read(tx, a.values[i])
+        yield from stm.d_write(tx, a.keys[i + 1], k)
+        yield from stm.d_write(tx, a.values[i + 1], v)
+    yield from stm.d_write(tx, a.keys[pos], key)
+    yield from stm.d_write(tx, a.values[pos], value)
+    yield from stm.d_write(tx, a.count, cnt + 1)
     return NULL_VALUE, False
 
 
 def d_leaf_delete_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: int):
     """Transactional merge-free delete; returns the old value or NULL."""
-    lay = tree.layout
-    cnt_addr = lay.addr(leaf, OFF_COUNT)
-    cnt = yield from stm.d_read(tx, cnt_addr)
-    yield from stm.d_write(tx, cnt_addr, cnt)
+    a = tree.views.addrs(leaf)
+    cnt = yield from stm.d_read(tx, a.count)
+    yield from stm.d_write(tx, a.count, cnt)
     pos = -1
     old = NULL_VALUE
     for slot in range(cnt):
-        k = yield from stm.d_read(tx, lay.key_addr(leaf, slot))
+        k = yield from stm.d_read(tx, a.keys[slot])
         yield Branch()
         if k == key:
             pos = slot
-            old = yield from stm.d_read(tx, lay.payload_addr(leaf, slot))
+            old = yield from stm.d_read(tx, a.values[slot])
             break
         if k > key:
             return NULL_VALUE
@@ -242,13 +233,13 @@ def d_leaf_delete_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: i
     if pos < 0:
         return NULL_VALUE
     for i in range(pos, cnt - 1):
-        k = yield from stm.d_read(tx, lay.key_addr(leaf, i + 1))
-        v = yield from stm.d_read(tx, lay.payload_addr(leaf, i + 1))
-        yield from stm.d_write(tx, lay.key_addr(leaf, i), k)
-        yield from stm.d_write(tx, lay.payload_addr(leaf, i), v)
-    yield from stm.d_write(tx, lay.key_addr(leaf, cnt - 1), EMPTY_KEY)
-    yield from stm.d_write(tx, lay.payload_addr(leaf, cnt - 1), 0)
-    yield from stm.d_write(tx, cnt_addr, cnt - 1)
+        k = yield from stm.d_read(tx, a.keys[i + 1])
+        v = yield from stm.d_read(tx, a.values[i + 1])
+        yield from stm.d_write(tx, a.keys[i], k)
+        yield from stm.d_write(tx, a.values[i], v)
+    yield from stm.d_write(tx, a.keys[cnt - 1], EMPTY_KEY)
+    yield from stm.d_write(tx, a.values[cnt - 1], 0)
+    yield from stm.d_write(tx, a.count, cnt - 1)
     return old
 
 
@@ -256,8 +247,7 @@ def d_leaf_delete_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: i
 # structure modification (split cascade)
 # --------------------------------------------------------------------- #
 def node_word_addrs(tree: BPlusTree, node: int) -> range:
-    base = tree.layout.node_base(node)
-    return range(base, base + tree.layout.node_words)
+    return tree.views.addrs(node).words()
 
 
 def plan_upsert_nodes(tree: BPlusTree, key: int) -> list[int]:
@@ -268,13 +258,13 @@ def plan_upsert_nodes(tree: BPlusTree, key: int) -> list[int]:
     """
     path = tree._descend_path(key)
     nodes = [path[-1][0]]
-    lay = tree.layout
-    data = tree.arena.data
+    views = tree.views
+    fanout = tree.layout.fanout
     # leaf splits only if full; ancestors join the plan while full
-    if int(data[lay.addr(path[-1][0], OFF_COUNT)]) >= lay.fanout:
+    if views.host(path[-1][0]).count >= fanout:
         for node, _slot in reversed(path[:-1]):
             nodes.append(node)
-            if int(data[lay.addr(node, OFF_COUNT)]) < lay.fanout:
+            if views.host(node).count < fanout:
                 break
     return nodes
 
@@ -360,32 +350,32 @@ def d_leaf_upsert_device(tree: BPlusTree, leaf: int, key: int, value: int):
     """In-place upsert with real loads/stores; bumps the node version so
     validated readers retry. Returns (old value, needs_split). Performs no
     mutation when a split would be needed."""
-    lay = tree.layout
-    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    a = tree.views.addrs(leaf)
+    cnt = yield Load(a.count)
     yield Branch()
     pos = 0
     while pos < cnt:
-        k = yield Load(lay.key_addr(leaf, pos))
+        k = yield Load(a.keys[pos])
         yield Branch()
         if k == key:
-            old = yield Load(lay.payload_addr(leaf, pos))
-            yield Store(lay.payload_addr(leaf, pos), value)
+            old = yield Load(a.values[pos])
+            yield Store(a.values[pos], value)
             yield from _d_bump_version(tree, leaf)
             return old, False
         if k > key:
             break
         pos += 1
     yield Branch()
-    if cnt >= lay.fanout:
+    if cnt >= tree.layout.fanout:
         return NULL_VALUE, True
     for i in range(cnt - 1, pos - 1, -1):
-        k = yield Load(lay.key_addr(leaf, i))
-        v = yield Load(lay.payload_addr(leaf, i))
-        yield Store(lay.key_addr(leaf, i + 1), k)
-        yield Store(lay.payload_addr(leaf, i + 1), v)
-    yield Store(lay.key_addr(leaf, pos), key)
-    yield Store(lay.payload_addr(leaf, pos), value)
-    yield Store(lay.addr(leaf, OFF_COUNT), cnt + 1)
+        k = yield Load(a.keys[i])
+        v = yield Load(a.values[i])
+        yield Store(a.keys[i + 1], k)
+        yield Store(a.values[i + 1], v)
+    yield Store(a.keys[pos], key)
+    yield Store(a.values[pos], value)
+    yield Store(a.count, cnt + 1)
     yield from _d_bump_version(tree, leaf)
     return NULL_VALUE, False
 
@@ -393,17 +383,17 @@ def d_leaf_upsert_device(tree: BPlusTree, leaf: int, key: int, value: int):
 def d_leaf_delete_device(tree: BPlusTree, leaf: int, key: int):
     """In-place merge-free delete; bumps the node version. Returns the old
     value or NULL_VALUE."""
-    lay = tree.layout
-    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    a = tree.views.addrs(leaf)
+    cnt = yield Load(a.count)
     yield Branch()
     pos = -1
     old = NULL_VALUE
     for slot in range(cnt):
-        k = yield Load(lay.key_addr(leaf, slot))
+        k = yield Load(a.keys[slot])
         yield Branch()
         if k == key:
             pos = slot
-            old = yield Load(lay.payload_addr(leaf, slot))
+            old = yield Load(a.values[slot])
             break
         if k > key:
             return NULL_VALUE
@@ -411,19 +401,19 @@ def d_leaf_delete_device(tree: BPlusTree, leaf: int, key: int):
     if pos < 0:
         return NULL_VALUE
     for i in range(pos, cnt - 1):
-        k = yield Load(lay.key_addr(leaf, i + 1))
-        v = yield Load(lay.payload_addr(leaf, i + 1))
-        yield Store(lay.key_addr(leaf, i), k)
-        yield Store(lay.payload_addr(leaf, i), v)
-    yield Store(lay.key_addr(leaf, cnt - 1), EMPTY_KEY)
-    yield Store(lay.payload_addr(leaf, cnt - 1), 0)
-    yield Store(lay.addr(leaf, OFF_COUNT), cnt - 1)
+        k = yield Load(a.keys[i + 1])
+        v = yield Load(a.values[i + 1])
+        yield Store(a.keys[i], k)
+        yield Store(a.values[i], v)
+    yield Store(a.keys[cnt - 1], EMPTY_KEY)
+    yield Store(a.values[cnt - 1], 0)
+    yield Store(a.count, cnt - 1)
     yield from _d_bump_version(tree, leaf)
     return old
 
 
 def _d_bump_version(tree: BPlusTree, node: int):
-    addr = tree.layout.addr(node, OFF_VERSION)
+    addr = tree.views.addrs(node).version
     cur = yield Load(addr)
     yield Store(addr, cur + 1)
 
@@ -435,18 +425,17 @@ def d_node_scan_validated(tree: BPlusTree, latches: LatchTable, node: int, key: 
     """Reader-side node visit for the lock design: wait for the latch,
     read the version, scan, re-validate. Returns (child slot or -1-if-
     retry-needed, is_leaf)."""
-    lay = tree.layout
-    lock_addr = lay.addr(node, OFF_LOCK)
+    a = tree.views.addrs(node)
     while True:
-        locked = yield from latches.d_is_locked(lock_addr)
+        locked = yield from latches.d_is_locked(a.lock)
         if not locked:
             break
-    ver_before = yield Load(lay.addr(node, OFF_VERSION))
-    is_leaf = yield Load(lay.addr(node, OFF_LEAF))
+    ver_before = yield Load(a.version)
+    is_leaf = yield Load(a.leaf)
     yield Branch()
     slot = yield from d_child_slot(tree, node, key)
-    ver_after = yield Load(lay.addr(node, OFF_VERSION))
-    locked_after = yield from latches.d_is_locked(lock_addr)
+    ver_after = yield Load(a.version)
+    locked_after = yield from latches.d_is_locked(a.lock)
     yield Branch()
     if ver_after != ver_before or locked_after:
         return -1, bool(is_leaf)
@@ -456,7 +445,6 @@ def d_node_scan_validated(tree: BPlusTree, latches: LatchTable, node: int, key: 
 def d_find_leaf_locked_query(tree: BPlusTree, latches: LatchTable, key: int):
     """Lock-free reader descent with per-node validation; restarts from the
     root when a node changed underneath it. Returns (leaf, steps)."""
-    lay = tree.layout
     while True:
         node = tree.root
         steps = 1
@@ -469,7 +457,7 @@ def d_find_leaf_locked_query(tree: BPlusTree, latches: LatchTable, key: int):
                 break
             if is_leaf:
                 return node, steps
-            node = yield Load(lay.payload_addr(node, slot))
+            node = yield Load(tree.views.addrs(node).children[slot])
             steps += 1
         if not ok:
             continue
@@ -479,33 +467,33 @@ def d_find_leaf_coupling(tree: BPlusTree, latches: LatchTable, key: int, owner: 
     """Writer descent with latch crabbing: hold the parent latch until the
     child is latched and known safe (non-full). Returns (leaf, steps,
     held) where ``held`` is the list of latched node ids (leaf last)."""
-    lay = tree.layout
+    views = tree.views
     held: list[int] = []
     node = tree.root
     steps = 0
     while True:
-        yield from latches.d_acquire(lay.addr(node, OFF_LOCK), owner)
+        a = views.addrs(node)
+        yield from latches.d_acquire(a.lock, owner)
         held.append(node)
         steps += 1
-        cnt = yield Load(lay.addr(node, OFF_COUNT))
+        cnt = yield Load(a.count)
         yield Branch()
-        if cnt < lay.fanout and len(held) > 1:
+        if cnt < tree.layout.fanout and len(held) > 1:
             # child is safe: release every ancestor latch
             for anc in held[:-1]:
-                yield from latches.d_release(lay.addr(anc, OFF_LOCK))
+                yield from latches.d_release(views.addrs(anc).lock)
             held = held[-1:]
-        is_leaf = yield Load(lay.addr(node, OFF_LEAF))
+        is_leaf = yield Load(a.leaf)
         yield Branch()
         if is_leaf:
             return node, steps, held
         slot = yield from d_child_slot(tree, node, key)
-        node = yield Load(lay.payload_addr(node, slot))
+        node = yield Load(a.children[slot])
 
 
 def d_release_all(tree: BPlusTree, latches: LatchTable, held: list[int]):
-    lay = tree.layout
     for node in held:
-        yield from latches.d_release(lay.addr(node, OFF_LOCK))
+        yield from latches.d_release(tree.views.addrs(node).lock)
 
 
 def d_leaf_upsert_locked(
@@ -515,32 +503,32 @@ def d_leaf_upsert_locked(
     held). Mutation executes host-side instantaneously; the node version
     bump makes concurrent validated readers retry; the counted stores are
     charged here. Returns the old value."""
-    lay = tree.layout
-    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    views = tree.views
+    a = views.addrs(leaf)
+    cnt = yield Load(a.count)
     yield Branch()
     # scan for hit (update-in-place fast path)
     for slot in range(cnt):
-        k = yield Load(lay.key_addr(leaf, slot))
+        k = yield Load(a.keys[slot])
         yield Branch()
         if k == key:
-            old = yield Load(lay.payload_addr(leaf, slot))
-            yield Store(lay.payload_addr(leaf, slot), value)
+            old = yield Load(a.values[slot])
+            yield Store(a.values[slot], value)
             return old
         if k > key:
             break
-    will_split = cnt >= lay.fanout
+    will_split = cnt >= tree.layout.fanout
     old = tree.upsert(key, value)
     # charge the insert's data movement: shifted entries + the new slot
-    moved = min(cnt + 1, lay.fanout)
+    data = tree.arena.data
+    moved = min(cnt + 1, tree.layout.fanout)
     for i in range(moved):
-        yield Store(lay.key_addr(leaf, i), int(tree.arena.data[lay.key_addr(leaf, i)]))
+        yield Store(a.keys[i], int(data[a.keys[i]]))
     if will_split:
         # bump versions so validated readers of every held node retry
         for node in held:
-            yield Store(
-                lay.addr(node, OFF_VERSION),
-                int(tree.arena.data[lay.addr(node, OFF_VERSION)]),
-            )
+            ver = views.addrs(node).version
+            yield Store(ver, int(data[ver]))
     yield Alu()
     return old
 
@@ -549,12 +537,12 @@ def d_leaf_delete_locked(
     tree: BPlusTree, latches: LatchTable, leaf: int, key: int
 ):
     """Merge-free delete under the leaf latch; returns the old value."""
-    lay = tree.layout
-    cnt = yield Load(lay.addr(leaf, OFF_COUNT))
+    a = tree.views.addrs(leaf)
+    cnt = yield Load(a.count)
     yield Branch()
     found = False
     for slot in range(cnt):
-        k = yield Load(lay.key_addr(leaf, slot))
+        k = yield Load(a.keys[slot])
         yield Branch()
         if k == key:
             found = True
@@ -565,6 +553,7 @@ def d_leaf_delete_locked(
     if not found:
         return NULL_VALUE
     old = tree.delete(key)
+    data = tree.arena.data
     for i in range(cnt):
-        yield Store(lay.key_addr(leaf, i), int(tree.arena.data[lay.key_addr(leaf, i)]))
+        yield Store(a.keys[i], int(data[a.keys[i]]))
     return old

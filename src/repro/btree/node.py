@@ -5,6 +5,12 @@ device-side programs (baselines and Eirene kernels) are built from. Host
 code that must not be charged (bulk build, the sequential reference) flips
 ``arena.counting`` off or uses :class:`~repro.btree.tree.BPlusTree` host
 views instead.
+
+Since the typed-view refactor this class is a thin method-style veneer over
+:mod:`repro.btree.views` — each accessor delegates to the generated
+:class:`~repro.btree.views.NodeView` / :class:`~repro.btree.views.HostNodeView`
+planes, so the layout table in :data:`repro.btree.views.FIELDS` stays the
+single source of field offsets and counted-access labels.
 """
 
 from __future__ import annotations
@@ -13,15 +19,8 @@ import numpy as np
 
 from .._types import EMPTY_KEY
 from ..memory import MemoryArena
-from .layout import (
-    OFF_COUNT,
-    OFF_FENCE,
-    OFF_LEAF,
-    OFF_NEXT,
-    OFF_RF,
-    OFF_VERSION,
-    NodeLayout,
-)
+from .layout import NodeLayout
+from .views import StructView
 
 
 class NodeAccessor:
@@ -31,82 +30,83 @@ class NodeAccessor:
         self.arena = arena
         self.layout = layout
 
+    @property
+    def views(self) -> StructView:
+        # rebuilt per access so callers that rebind ``self.arena`` (e.g. a
+        # test moving a tree into a larger arena) keep a coherent view
+        return StructView(self.arena, self.layout)
+
     # -- header ---------------------------------------------------------
     def count(self, node: int) -> int:
-        return self.arena.read(self.layout.addr(node, OFF_COUNT), "node_header")
+        return self.views.node(node).count
 
     def set_count(self, node: int, value: int) -> None:
-        self.arena.write(self.layout.addr(node, OFF_COUNT), value, "node_header")
+        self.views.node(node).count = value
 
     def is_leaf(self, node: int) -> bool:
-        return bool(self.arena.read(self.layout.addr(node, OFF_LEAF), "node_header"))
+        return bool(self.views.node(node).leaf)
 
     def version(self, node: int) -> int:
-        return self.arena.read(self.layout.addr(node, OFF_VERSION), "version")
+        return self.views.node(node).version
 
     def bump_version(self, node: int) -> int:
         """Atomically increment the split version; returns the new value."""
-        return self.arena.atomic_add(self.layout.addr(node, OFF_VERSION), 1) + 1
+        return self.views.node(node).bump_version()
 
     def rf(self, node: int) -> int:
-        return self.arena.read(self.layout.addr(node, OFF_RF), "rf")
+        return self.views.node(node).rf
 
     def set_rf(self, node: int, value: int) -> None:
-        self.arena.write(self.layout.addr(node, OFF_RF), value, "rf")
+        self.views.node(node).rf = value
 
     def fence(self, node: int) -> int:
-        return self.arena.read(self.layout.addr(node, OFF_FENCE), "fence")
+        return self.views.node(node).fence
 
     def set_fence(self, node: int, value: int) -> None:
-        self.arena.write(self.layout.addr(node, OFF_FENCE), value, "fence")
+        self.views.node(node).fence = value
 
     def next_leaf(self, node: int) -> int:
-        return self.arena.read(self.layout.addr(node, OFF_NEXT), "leaf_chain")
+        return self.views.node(node).next_leaf
 
     def set_next_leaf(self, node: int, value: int) -> None:
-        self.arena.write(self.layout.addr(node, OFF_NEXT), value, "leaf_chain")
+        self.views.node(node).next_leaf = value
 
     # -- keys / payload --------------------------------------------------
     def key(self, node: int, slot: int) -> int:
-        return self.arena.read(self.layout.key_addr(node, slot), "keys")
+        return self.views.node(node).keys[slot]
 
     def set_key(self, node: int, slot: int, value: int) -> None:
-        self.arena.write(self.layout.key_addr(node, slot), value, "keys")
+        self.views.node(node).keys[slot] = value
 
     def payload(self, node: int, slot: int) -> int:
-        return self.arena.read(self.layout.payload_addr(node, slot), "payload")
+        return self.views.node(node).payload[slot]
 
     def set_payload(self, node: int, slot: int, value: int) -> None:
-        self.arena.write(self.layout.payload_addr(node, slot), value, "payload")
+        self.views.node(node).payload[slot] = value
 
     # -- warp-style vector reads ------------------------------------------
     def keys_row(self, node: int) -> np.ndarray:
         """Read all key slots of a node as one coalesced warp load."""
-        base = self.layout.key_addr(node, 0)
-        addrs = np.arange(base, base + self.layout.fanout, dtype=np.int64)
-        return self.arena.read_gather(addrs, "keys")
+        return self.views.node(node).keys[:]
 
     # -- host (uncounted) views -------------------------------------------
     def host_keys(self, node: int) -> np.ndarray:
-        base = self.layout.key_addr(node, 0)
-        return self.arena.host_view(base, self.layout.fanout)
+        return self.views.host(node).keys
 
     def host_payload(self, node: int) -> np.ndarray:
-        base = self.layout.payload_addr(node, 0)
-        return self.arena.host_view(base, self.layout.fanout + 1)
+        return self.views.host(node).payload
 
     def host_min_key(self, node: int) -> int:
         """Smallest key in the subtree rooted at ``node`` (uncounted)."""
-        while not self.arena.data[self.layout.addr(node, OFF_LEAF)]:
-            node = int(self.arena.data[self.layout.payload_addr(node, 0)])
-        return int(self.arena.data[self.layout.key_addr(node, 0)])
+        while not self.views.host(node).leaf:
+            node = int(self.views.host(node).children[0])
+        return int(self.views.host(node).keys[0])
 
     def clear_node(self, node: int, leaf: bool) -> None:
         """Host-side initialization of a fresh node (uncounted)."""
-        view = self.arena.host_view(self.layout.node_base(node), self.layout.node_words)
-        view[:] = 0
-        view[OFF_LEAF] = 1 if leaf else 0
-        view[OFF_RF] = EMPTY_KEY
-        view[OFF_NEXT] = -1
-        kbase = self.layout.key_addr(node, 0) - self.layout.node_base(node)
-        view[kbase : kbase + self.layout.fanout] = EMPTY_KEY
+        h = self.views.host(node)
+        h.words()[:] = 0
+        h.leaf = 1 if leaf else 0
+        h.rf = EMPTY_KEY
+        h.next_leaf = -1
+        h.keys[:] = EMPTY_KEY

@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .._types import EMPTY_KEY, NO_NODE, NULL_VALUE
-from .layout import OFF_COUNT, OFF_FENCE, OFF_KEYS, OFF_NEXT
 from .tree import BPlusTree
 
 
@@ -60,10 +59,7 @@ class TraversalEvents:
 
 def _key_rows(tree: BPlusTree, nodes: np.ndarray) -> np.ndarray:
     """Gather the full key row of each node (shape: len(nodes) x fanout)."""
-    lay = tree.layout
-    base = lay.base + nodes * lay.stride
-    idx = base[:, None] + OFF_KEYS + np.arange(lay.fanout)
-    return tree.arena.data[idx]
+    return tree.views.key_rows(nodes)
 
 
 def batch_find_leaf(tree: BPlusTree, keys: np.ndarray) -> tuple[np.ndarray, TraversalEvents]:
@@ -82,12 +78,12 @@ def batch_find_leaf(tree: BPlusTree, keys: np.ndarray) -> tuple[np.ndarray, Trav
         ev.steps_per_request = np.zeros(0, dtype=np.int64)
         return nodes, ev
     lay = tree.layout
+    views = tree.views
     data = tree.arena.data
     for _ in range(tree.height - 1):
         rows = _key_rows(tree, nodes)
         slots = (rows <= keys[:, None]).sum(axis=1)
-        base = lay.base + nodes * lay.stride
-        nodes = data[base + lay.payload_off + slots]
+        nodes = data[views.payload_addrs(nodes, slots)]
         ev.node_visits += n
         ev.key_words_read += n * lay.fanout
         ev.vertical_steps += n
@@ -114,8 +110,8 @@ def batch_leaf_lookup(
     pos = (rows < keys[:, None]).sum(axis=1)
     pos_c = np.minimum(pos, lay.fanout - 1)
     hit = rows[np.arange(n), pos_c] == keys
-    base = lay.base + leaves * lay.stride
-    vals = np.where(hit, tree.arena.data[base + lay.payload_off + pos_c], NULL_VALUE)
+    payload = tree.arena.data[tree.views.payload_addrs(leaves, pos_c)]
+    vals = np.where(hit, payload, NULL_VALUE)
     return vals.astype(np.int64), ev
 
 
@@ -135,11 +131,10 @@ def batch_horizontal_find_leaf(
     steps = np.ones(n, dtype=np.int64)  # reading the buffered leaf is a step
     if n == 0:
         return leaves, steps, ev
-    lay = tree.layout
-    data = tree.arena.data
+    views = tree.views
 
     # fallback: key precedes the buffered leaf's fence (left of its range)
-    fences = data[lay.base + leaves * lay.stride + OFF_FENCE]
+    fences = views.host_field(leaves, "fence")
     ev.key_words_read += n
     fallback = keys < fences
     if np.any(fallback):
@@ -152,13 +147,12 @@ def batch_horizontal_find_leaf(
     while np.any(active):
         idx = np.flatnonzero(active)
         cur = leaves[idx]
-        base = lay.base + cur * lay.stride
         ev.key_words_read += int(idx.size)
         ev.node_visits += int(idx.size)
-        nxt = data[base + OFF_NEXT]
+        nxt = views.host_field(cur, "next_leaf")
         has_next = nxt != NO_NODE
         nxt_fence = np.where(
-            has_next, data[lay.base + np.maximum(nxt, 0) * lay.stride + OFF_FENCE], 0
+            has_next, views.host_field(np.maximum(nxt, 0), "fence"), 0
         )
         advance = has_next & (nxt_fence <= keys[idx])
         move = idx[advance]
@@ -172,18 +166,12 @@ def batch_horizontal_find_leaf(
 
 def leaf_max_keys(tree: BPlusTree, leaves: np.ndarray) -> np.ndarray:
     """Largest real key per leaf (-1 for an empty leaf). Host plane."""
-    lay = tree.layout
-    data = tree.arena.data
-    base = lay.base + np.asarray(leaves, dtype=np.int64) * lay.stride
-    counts = data[base + OFF_COUNT]
-    rows = _key_rows(tree, np.asarray(leaves, dtype=np.int64))
+    leaves = np.asarray(leaves, dtype=np.int64)
+    counts = tree.views.host_field(leaves, "count")
+    rows = _key_rows(tree, leaves)
     return np.where(counts > 0, rows[np.arange(len(leaves)), np.maximum(counts - 1, 0)], -1)
 
 
 def leaf_rf_values(tree: BPlusTree, leaves: np.ndarray) -> np.ndarray:
     """RF field per leaf (host plane)."""
-    from .layout import OFF_RF
-
-    lay = tree.layout
-    base = lay.base + np.asarray(leaves, dtype=np.int64) * lay.stride
-    return tree.arena.data[base + OFF_RF]
+    return tree.views.host_field(np.asarray(leaves, dtype=np.int64), "rf")

@@ -28,16 +28,9 @@ from .._types import EMPTY_KEY, MAX_KEY, NO_NODE, NULL_VALUE
 from ..config import TreeConfig
 from ..errors import TreeError, TreeFullError
 from ..memory import MemoryArena
-from .layout import (
-    OFF_COUNT,
-    OFF_FENCE,
-    OFF_LEAF,
-    OFF_NEXT,
-    OFF_RF,
-    OFF_VERSION,
-    NodeLayout,
-)
+from .layout import NodeLayout
 from .node import NodeAccessor
+from .views import StructView
 
 
 @dataclass
@@ -68,6 +61,12 @@ class BPlusTree:
         self.height = 0  # number of node levels on a root->leaf path
         self._next_node = 0
         self.split_events: list[SplitEvent] = []
+
+    @property
+    def views(self) -> StructView:
+        # tracks ``self.arena`` rebinding (tests transplant trees between
+        # arenas); StructView construction is two attribute stores
+        return StructView(self.arena, self.layout)
 
     # ------------------------------------------------------------------ #
     # construction
@@ -153,30 +152,29 @@ class BPlusTree:
     def _bulk_load(
         self, keys: np.ndarray, values: np.ndarray, leaf_fill: int, inner_fill: int
     ) -> None:
-        lay = self.layout
-        data = self.arena.data
+        views = self.views
         # --- leaves ------------------------------------------------------
         leaf_ids: list[int] = []
         for start in range(0, keys.size, leaf_fill):
             chunk = slice(start, min(start + leaf_fill, keys.size))
             node = self._alloc_node(leaf=True)
             cnt = chunk.stop - chunk.start
-            base = lay.node_base(node)
-            data[base + OFF_COUNT] = cnt
-            data[lay.key_addr(node, 0) : lay.key_addr(node, 0) + cnt] = keys[chunk]
-            data[lay.payload_addr(node, 0) : lay.payload_addr(node, 0) + cnt] = values[chunk]
+            h = views.host(node)
+            h.count = cnt
+            h.keys[:cnt] = keys[chunk]
+            h.values[:cnt] = values[chunk]
             # lower fence = the parent separator routing here (min key at
             # build time); the leftmost leaf is fenced at 0
-            data[lay.addr(node, OFF_FENCE)] = keys[chunk][0] if leaf_ids else 0
+            h.fence = keys[chunk][0] if leaf_ids else 0
             if leaf_ids:
-                data[lay.addr(leaf_ids[-1], OFF_NEXT)] = node
+                views.host(leaf_ids[-1]).next_leaf = node
             leaf_ids.append(node)
-        data[lay.addr(leaf_ids[-1], OFF_NEXT)] = NO_NODE
+        views.host(leaf_ids[-1]).next_leaf = NO_NODE
 
         # --- inner levels --------------------------------------------------
         self.height = 1
         level_ids = leaf_ids
-        level_mins = [int(data[lay.key_addr(n, 0)]) for n in level_ids]
+        level_mins = [int(views.host(n).keys[0]) for n in level_ids]
         while len(level_ids) > 1:
             next_ids: list[int] = []
             next_mins: list[int] = []
@@ -200,13 +198,12 @@ class BPlusTree:
                 children = level_ids[start:stop]
                 mins = level_mins[start:stop]
                 node = self._alloc_node(leaf=False)
-                base = lay.node_base(node)
+                h = views.host(node)
                 cnt = len(children) - 1
-                data[base + OFF_COUNT] = cnt
+                h.count = cnt
                 if cnt:
-                    data[lay.key_addr(node, 0) : lay.key_addr(node, 0) + cnt] = mins[1:]
-                pbase = lay.payload_addr(node, 0)
-                data[pbase : pbase + len(children)] = children
+                    h.keys[:cnt] = mins[1:]
+                h.children[: len(children)] = children
                 next_ids.append(node)
                 next_mins.append(mins[0])
             level_ids, level_mins = next_ids, next_mins
@@ -220,18 +217,17 @@ class BPlusTree:
     def init_rf(self) -> None:
         """Set each leaf's RF to the min key of the leaf ``height + 1`` hops
         ahead on the chain (``EMPTY_KEY`` when the chain ends earlier)."""
-        lay = self.layout
-        data = self.arena.data
+        views = self.views
         leaves = self.leaf_ids()
         hop = self.height + 1
         for i, leaf in enumerate(leaves):
             j = i + hop
             rf = EMPTY_KEY
             if j < len(leaves):
-                tgt = leaves[j]
-                if data[lay.addr(tgt, OFF_COUNT)] > 0:
-                    rf = int(data[lay.key_addr(tgt, 0)])
-            data[lay.addr(leaf, OFF_RF)] = rf
+                tgt = views.host(leaves[j])
+                if tgt.count > 0:
+                    rf = int(tgt.keys[0])
+            views.host(leaf).rf = rf
 
     def update_rf(self, start_leaf: int, observed_steps: int) -> None:
         """§5 dynamic RF maintenance: when a horizontal traversal starting at
@@ -240,16 +236,16 @@ class BPlusTree:
         vertical traversal instead."""
         if observed_steps <= self.height:
             return
-        lay = self.layout
-        data = self.arena.data
+        views = self.views
         node = start_leaf
         for _ in range(self.height + 1):
-            nxt = int(data[lay.addr(node, OFF_NEXT)])
+            nxt = views.host(node).next_leaf
             if nxt == NO_NODE:
                 return
             node = nxt
-        if data[lay.addr(node, OFF_COUNT)] > 0:
-            data[lay.addr(start_leaf, OFF_RF)] = int(data[lay.key_addr(node, 0)])
+        h = views.host(node)
+        if h.count > 0:
+            views.host(start_leaf).rf = int(h.keys[0])
 
     # ------------------------------------------------------------------ #
     # traversal helpers (host plane)
@@ -263,10 +259,9 @@ class BPlusTree:
         """Descend from the root; return (leaf id, nodes visited)."""
         node = self.root
         steps = 1
-        data = self.arena.data
-        lay = self.layout
-        while not data[lay.addr(node, OFF_LEAF)]:
-            node = int(data[lay.payload_addr(node, self.child_slot(node, key))])
+        views = self.views
+        while not views.host(node).leaf:
+            node = int(views.host(node).children[self.child_slot(node, key)])
             steps += 1
         return node, steps
 
@@ -315,17 +310,15 @@ class BPlusTree:
         slot = self.leaf_slot(leaf, key)
         if slot < 0:
             return NULL_VALUE
-        lay = self.layout
-        data = self.arena.data
-        cnt = int(data[lay.addr(leaf, OFF_COUNT)])
-        hk = self.nodes.host_keys(leaf)
-        hp = self.nodes.host_payload(leaf)
+        h = self.views.host(leaf)
+        cnt = h.count
+        hk, hp = h.keys, h.values
         old = int(hp[slot])
         hk[slot : cnt - 1] = hk[slot + 1 : cnt]
         hp[slot : cnt - 1] = hp[slot + 1 : cnt]
         hk[cnt - 1] = EMPTY_KEY
         hp[cnt - 1] = 0
-        data[lay.addr(leaf, OFF_COUNT)] = cnt - 1
+        h.count = cnt - 1
         return old
 
     def range_scan(self, lo: int, hi: int) -> tuple[np.ndarray, np.ndarray]:
@@ -333,20 +326,19 @@ class BPlusTree:
         if hi < lo:
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
         leaf, _ = self.find_leaf(lo)
-        lay = self.layout
-        data = self.arena.data
         out_k: list[int] = []
         out_v: list[int] = []
         while leaf != NO_NODE:
-            cnt = int(data[lay.addr(leaf, OFF_COUNT)])
-            hk = self.nodes.host_keys(leaf)[:cnt]
-            hp = self.nodes.host_payload(leaf)[:cnt]
+            h = self.views.host(leaf)
+            cnt = h.count
+            hk = h.keys[:cnt]
+            hp = h.values[:cnt]
             sel = (hk >= lo) & (hk <= hi)
             out_k.extend(int(k) for k in hk[sel])
             out_v.extend(int(v) for v in hp[sel])
             if cnt and hk[cnt - 1] > hi:
                 break
-            leaf = int(data[lay.addr(leaf, OFF_NEXT)])
+            leaf = h.next_leaf
         return np.asarray(out_k, dtype=np.int64), np.asarray(out_v, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
@@ -356,125 +348,118 @@ class BPlusTree:
         """Root-to-leaf path as (node, child slot taken); leaf slot is -1."""
         path: list[tuple[int, int]] = []
         node = self.root
-        data = self.arena.data
-        lay = self.layout
-        while not data[lay.addr(node, OFF_LEAF)]:
+        views = self.views
+        while not views.host(node).leaf:
             slot = self.child_slot(node, key)
             path.append((node, slot))
-            node = int(data[lay.payload_addr(node, slot)])
+            node = int(views.host(node).children[slot])
         path.append((node, -1))
         return path
 
     def _leaf_insert(self, path: list[tuple[int, int]], key: int, value: int) -> None:
-        lay = self.layout
-        data = self.arena.data
         leaf = path[-1][0]
-        cnt = int(data[lay.addr(leaf, OFF_COUNT)])
-        if cnt < lay.fanout:
+        cnt = self.views.host(leaf).count
+        if cnt < self.layout.fanout:
             self._insert_into_leaf(leaf, cnt, key, value)
             return
         # split the leaf, then insert into the correct half
         new_leaf = self._split_leaf(leaf)
-        sep = int(data[lay.key_addr(new_leaf, 0)])
+        sep = int(self.views.host(new_leaf).keys[0])
         target = new_leaf if key >= sep else leaf
-        tcnt = int(data[lay.addr(target, OFF_COUNT)])
+        tcnt = self.views.host(target).count
         self._insert_into_leaf(target, tcnt, key, value)
         self._insert_separator(path[:-1], sep, new_leaf)
 
     def _insert_into_leaf(self, leaf: int, cnt: int, key: int, value: int) -> None:
-        hk = self.nodes.host_keys(leaf)
-        hp = self.nodes.host_payload(leaf)
+        h = self.views.host(leaf)
+        hk, hp = h.keys, h.values
         pos = int(np.searchsorted(hk[:cnt], key, side="left"))
         hk[pos + 1 : cnt + 1] = hk[pos:cnt]
         hp[pos + 1 : cnt + 1] = hp[pos:cnt]
         hk[pos] = key
         hp[pos] = value
-        self.arena.data[self.layout.addr(leaf, OFF_COUNT)] = cnt + 1
+        h.count = cnt + 1
 
     def _split_leaf(self, leaf: int) -> int:
         """Split a full leaf; returns the new right sibling."""
-        lay = self.layout
-        data = self.arena.data
         new_leaf = self._alloc_node(leaf=True)
-        cnt = int(data[lay.addr(leaf, OFF_COUNT)])
+        h = self.views.host(leaf)
+        n = self.views.host(new_leaf)
+        cnt = h.count
         half = cnt // 2
-        hk, hp = self.nodes.host_keys(leaf), self.nodes.host_payload(leaf)
-        nk, np_ = self.nodes.host_keys(new_leaf), self.nodes.host_payload(new_leaf)
+        hk, hp = h.keys, h.values
+        nk, np_ = n.keys, n.values
         moved = cnt - half
         nk[:moved] = hk[half:cnt]
         np_[:moved] = hp[half:cnt]
         hk[half:cnt] = EMPTY_KEY
         hp[half:cnt] = 0
-        data[lay.addr(leaf, OFF_COUNT)] = half
-        data[lay.addr(new_leaf, OFF_COUNT)] = moved
+        h.count = half
+        n.count = moved
         # chain + fence + version + RF propagation (§4.2, §5)
-        data[lay.addr(new_leaf, OFF_FENCE)] = nk[0]
-        data[lay.addr(new_leaf, OFF_NEXT)] = data[lay.addr(leaf, OFF_NEXT)]
-        data[lay.addr(leaf, OFF_NEXT)] = new_leaf
-        data[lay.addr(leaf, OFF_VERSION)] += 1
-        data[lay.addr(new_leaf, OFF_VERSION)] = data[lay.addr(leaf, OFF_VERSION)]
-        data[lay.addr(new_leaf, OFF_RF)] = data[lay.addr(leaf, OFF_RF)]
+        n.fence = nk[0]
+        n.next_leaf = h.next_leaf
+        h.next_leaf = new_leaf
+        h.version += 1
+        n.version = h.version
+        n.rf = h.rf
         self.split_events.append(SplitEvent(node=leaf, new_node=new_leaf, level=0))
         return new_leaf
 
     def _insert_separator(self, inner_path: list[tuple[int, int]], sep: int, child: int) -> None:
         """Insert (sep -> child) into the parent chain, splitting upward."""
-        lay = self.layout
-        data = self.arena.data
+        views = self.views
         level = 1
         while inner_path:
             node, _ = inner_path.pop()
-            cnt = int(data[lay.addr(node, OFF_COUNT)])
-            if cnt < lay.fanout:
+            cnt = views.host(node).count
+            if cnt < self.layout.fanout:
                 self._insert_into_inner(node, cnt, sep, child)
                 return
             node_new, promote = self._split_inner(node, level)
             # insert into the proper half after the split
-            if sep >= promote:
-                tcnt = int(data[lay.addr(node_new, OFF_COUNT)])
-                self._insert_into_inner(node_new, tcnt, sep, child)
-            else:
-                tcnt = int(data[lay.addr(node, OFF_COUNT)])
-                self._insert_into_inner(node, tcnt, sep, child)
+            target = node_new if sep >= promote else node
+            self._insert_into_inner(target, views.host(target).count, sep, child)
             sep, child = promote, node_new
             level += 1
         # split reached the root: grow the tree
         new_root = self._alloc_node(leaf=False)
-        data[lay.addr(new_root, OFF_COUNT)] = 1
-        data[lay.key_addr(new_root, 0)] = sep
-        data[lay.payload_addr(new_root, 0)] = self.root
-        data[lay.payload_addr(new_root, 1)] = child
+        h = views.host(new_root)
+        h.count = 1
+        h.keys[0] = sep
+        h.children[0] = self.root
+        h.children[1] = child
         self.root = new_root
         self.height += 1
         self.init_rf()
 
     def _insert_into_inner(self, node: int, cnt: int, sep: int, child: int) -> None:
-        hk = self.nodes.host_keys(node)
-        hp = self.nodes.host_payload(node)
+        h = self.views.host(node)
+        hk, hp = h.keys, h.children
         pos = int(np.searchsorted(hk[:cnt], sep, side="left"))
         hk[pos + 1 : cnt + 1] = hk[pos:cnt]
         hp[pos + 2 : cnt + 2] = hp[pos + 1 : cnt + 1]
         hk[pos] = sep
         hp[pos + 1] = child
-        self.arena.data[self.layout.addr(node, OFF_COUNT)] = cnt + 1
+        h.count = cnt + 1
 
     def _split_inner(self, node: int, level: int) -> tuple[int, int]:
         """Split a full inner node; returns (new right node, promoted key)."""
-        lay = self.layout
-        data = self.arena.data
         new_node = self._alloc_node(leaf=False)
-        cnt = int(data[lay.addr(node, OFF_COUNT)])  # == fanout
+        h = self.views.host(node)
+        n = self.views.host(new_node)
+        cnt = h.count  # == fanout
         mid = cnt // 2
-        hk, hp = self.nodes.host_keys(node), self.nodes.host_payload(node)
-        nk, np_ = self.nodes.host_keys(new_node), self.nodes.host_payload(new_node)
+        hk, hp = h.keys, h.children
+        nk, np_ = n.keys, n.children
         promote = int(hk[mid])
         right = cnt - mid - 1
         nk[:right] = hk[mid + 1 : cnt]
         np_[: right + 1] = hp[mid + 1 : cnt + 1]
         hk[mid:cnt] = EMPTY_KEY
         hp[mid + 1 : cnt + 1] = 0
-        data[lay.addr(node, OFF_COUNT)] = mid
-        data[lay.addr(new_node, OFF_COUNT)] = right
+        h.count = mid
+        n.count = right
         self.split_events.append(SplitEvent(node=node, new_node=new_node, level=level))
         return new_node, promote
 
@@ -483,35 +468,31 @@ class BPlusTree:
     # ------------------------------------------------------------------ #
     def leaf_ids(self) -> list[int]:
         """Leaf node ids in chain order."""
-        lay = self.layout
-        data = self.arena.data
+        views = self.views
         node = self.root
-        while not data[lay.addr(node, OFF_LEAF)]:
-            node = int(data[lay.payload_addr(node, 0)])
+        while not views.host(node).leaf:
+            node = int(views.host(node).children[0])
         out = []
         while node != NO_NODE:
             out.append(node)
-            node = int(data[lay.addr(node, OFF_NEXT)])
+            node = views.host(node).next_leaf
         return out
 
     def items(self) -> tuple[np.ndarray, np.ndarray]:
         """All (key, value) pairs in key order (host plane)."""
         ks: list[np.ndarray] = []
         vs: list[np.ndarray] = []
-        lay = self.layout
-        data = self.arena.data
         for leaf in self.leaf_ids():
-            cnt = int(data[lay.addr(leaf, OFF_COUNT)])
-            ks.append(self.nodes.host_keys(leaf)[:cnt].copy())
-            vs.append(self.nodes.host_payload(leaf)[:cnt].copy())
+            h = self.views.host(leaf)
+            cnt = h.count
+            ks.append(h.keys[:cnt].copy())
+            vs.append(h.values[:cnt].copy())
         if not ks:
             return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
         return np.concatenate(ks), np.concatenate(vs)
 
     def __len__(self) -> int:
-        lay = self.layout
-        data = self.arena.data
-        return int(sum(data[lay.addr(leaf, OFF_COUNT)] for leaf in self.leaf_ids()))
+        return int(sum(self.views.host(leaf).count for leaf in self.leaf_ids()))
 
     def validate(self) -> None:
         """Check structural invariants; raises :class:`TreeError` on failure.
@@ -520,29 +501,28 @@ class BPlusTree:
         depth, leaf-chain global ordering, child counts.
         """
         lay = self.layout
-        data = self.arena.data
         leaf_depths: set[int] = set()
 
         def rec(node: int, lo: int, hi: int, depth: int) -> None:
-            cnt = int(data[lay.addr(node, OFF_COUNT)])
+            h = self.views.host(node)
+            cnt = h.count
             if cnt > lay.fanout or cnt < 0:
                 raise TreeError(f"node {node}: bad count {cnt}")
-            hk = self.nodes.host_keys(node)[:cnt]
+            hk = h.keys[:cnt]
             if np.any(hk[1:] <= hk[:-1]):
                 raise TreeError(f"node {node}: keys not strictly increasing")
             if cnt and (hk[0] < lo or hk[-1] >= hi):
                 raise TreeError(f"node {node}: keys escape [{lo}, {hi})")
-            if data[lay.addr(node, OFF_LEAF)]:
+            if h.leaf:
                 leaf_depths.add(depth)
-                fence = int(data[lay.addr(node, OFF_FENCE)])
-                if fence != lo:
+                if h.fence != lo:
                     raise TreeError(
-                        f"leaf {node}: fence {fence} != routed lower bound {lo}"
+                        f"leaf {node}: fence {h.fence} != routed lower bound {lo}"
                     )
                 return
             if cnt == 0 and node != self.root:
                 raise TreeError(f"inner node {node} has no separator")
-            hp = self.nodes.host_payload(node)
+            hp = h.children
             bounds = [lo, *[int(k) for k in hk], hi]
             for i in range(cnt + 1):
                 rec(int(hp[i]), bounds[i], bounds[i + 1], depth + 1)

@@ -1,0 +1,297 @@
+"""Typed node views generated from :class:`~repro.btree.layout.NodeLayout`.
+
+Every node field the layout defines appears once in :data:`FIELDS`; from
+that single declarative table three view classes are *generated* — one per
+access plane — so call sites write ``node.count``, ``node.keys[slot]`` or
+``node.children[i]`` instead of hand-rolled ``lay.addr(node, OFF_*)``
+arithmetic:
+
+* :class:`NodeAddrs` — the **address plane**: each field resolves to its
+  word address. Device thread programs use this to ``yield Load(a.fence)``;
+  the accounting stays wherever the instruction is executed, so swapping
+  raw arithmetic for views is invisible to the event counters.
+* :class:`NodeView` — the **counted plane**: reading ``v.count`` issues a
+  counted arena access with the same label the scalar accessors always
+  charged (``node_header``, ``keys``, ``payload``, …); ``v.keys[:]`` is one
+  coalesced warp gather.
+* :class:`HostNodeView` — the **host plane**: uncounted numpy views for
+  bulk build, splits and validation, mirroring the paper's convention that
+  CPU-side tree construction is free.
+
+:class:`StructView` binds a layout to an arena and hands out per-node views
+plus the vectorized address helpers the batch traversal engine needs
+(``field_addrs``, ``key_rows``), so the level-synchronous gathers are also
+expressed against field *names* rather than offsets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..memory import MemoryArena
+from .layout import (
+    HEADER_WORDS,
+    OFF_COUNT,
+    OFF_FENCE,
+    OFF_KEYS,
+    OFF_LEAF,
+    OFF_LOCK,
+    OFF_NEXT,
+    OFF_RF,
+    OFF_VERSION,
+    NodeLayout,
+)
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One scalar header field: its offset word and its counted-access label."""
+
+    name: str
+    offset: int
+    label: str
+
+
+#: the declarative layout table all view classes are generated from —
+#: one row per header word of :mod:`repro.btree.layout`
+FIELDS: tuple[FieldSpec, ...] = (
+    FieldSpec("count", OFF_COUNT, "node_header"),
+    FieldSpec("leaf", OFF_LEAF, "node_header"),
+    FieldSpec("version", OFF_VERSION, "version"),
+    FieldSpec("rf", OFF_RF, "rf"),
+    FieldSpec("next_leaf", OFF_NEXT, "leaf_chain"),
+    FieldSpec("lock", OFF_LOCK, "lock"),
+    FieldSpec("fence", OFF_FENCE, "fence"),
+)
+
+FIELD_BY_NAME: dict[str, FieldSpec] = {f.name: f for f in FIELDS}
+
+if len(FIELDS) != HEADER_WORDS:  # pragma: no cover - layout/table drift guard
+    raise AssertionError("FIELDS table out of sync with the node header layout")
+
+
+# --------------------------------------------------------------------- #
+# address plane
+# --------------------------------------------------------------------- #
+class ArrayAddrs:
+    """Addresses of an in-node array (keys or payload)."""
+
+    __slots__ = ("base", "width")
+
+    def __init__(self, base: int, width: int) -> None:
+        self.base = base
+        self.width = width
+
+    def __getitem__(self, slot):
+        if isinstance(slot, slice):
+            return np.arange(self.width, dtype=np.int64)[slot] + self.base
+        return self.base + slot
+
+    def __len__(self) -> int:
+        return self.width
+
+    def row(self) -> np.ndarray:
+        """All slot addresses, in order (one coalesced warp access)."""
+        return np.arange(self.base, self.base + self.width, dtype=np.int64)
+
+
+class NodeAddrs:
+    """Address plane: every field of one node resolved to its word address."""
+
+    __slots__ = ("_base", "_layout")
+
+    def __init__(self, layout: NodeLayout, node: int) -> None:
+        self._base = layout.node_base(node)
+        self._layout = layout
+
+    @property
+    def keys(self) -> ArrayAddrs:
+        return ArrayAddrs(self._base + OFF_KEYS, self._layout.fanout)
+
+    @property
+    def payload(self) -> ArrayAddrs:
+        return ArrayAddrs(self._base + self._layout.payload_off, self._layout.fanout + 1)
+
+    # aliases matching what the payload means per node kind
+    children = payload
+    values = payload
+
+    def words(self) -> range:
+        """Every word address of the node (split plans own all of them)."""
+        return range(self._base, self._base + self._layout.node_words)
+
+
+def _addr_property(offset: int):
+    def get(self: NodeAddrs) -> int:
+        return self._base + offset
+
+    return property(get)
+
+
+for _f in FIELDS:
+    setattr(NodeAddrs, _f.name, _addr_property(_f.offset))
+
+
+# --------------------------------------------------------------------- #
+# counted plane
+# --------------------------------------------------------------------- #
+class CountedArray:
+    """Counted access to an in-node array; ``[:]`` is one warp gather."""
+
+    __slots__ = ("_arena", "base", "width", "label")
+
+    def __init__(self, arena: MemoryArena, base: int, width: int, label: str) -> None:
+        self._arena = arena
+        self.base = base
+        self.width = width
+        self.label = label
+
+    def __getitem__(self, slot):
+        if isinstance(slot, slice):
+            addrs = np.arange(self.width, dtype=np.int64)[slot] + self.base
+            return self._arena.read_gather(addrs, self.label)
+        return self._arena.read(self.base + slot, self.label)
+
+    def __setitem__(self, slot: int, value: int) -> None:
+        self._arena.write(self.base + slot, value, self.label)
+
+    def __len__(self) -> int:
+        return self.width
+
+
+class NodeView:
+    """Counted plane: field reads/writes charge the arena like device code."""
+
+    __slots__ = ("_arena", "_base", "_layout")
+
+    def __init__(self, arena: MemoryArena, layout: NodeLayout, node: int) -> None:
+        self._arena = arena
+        self._base = layout.node_base(node)
+        self._layout = layout
+
+    @property
+    def keys(self) -> CountedArray:
+        return CountedArray(self._arena, self._base + OFF_KEYS, self._layout.fanout, "keys")
+
+    @property
+    def payload(self) -> CountedArray:
+        return CountedArray(
+            self._arena, self._base + self._layout.payload_off,
+            self._layout.fanout + 1, "payload",
+        )
+
+    children = payload
+    values = payload
+
+    def bump_version(self) -> int:
+        """Atomically increment the split version; returns the new value."""
+        return self._arena.atomic_add(self._base + OFF_VERSION, 1) + 1
+
+
+def _counted_property(offset: int, label: str):
+    def get(self: NodeView) -> int:
+        return self._arena.read(self._base + offset, label)
+
+    def set_(self: NodeView, value: int) -> None:
+        self._arena.write(self._base + offset, value, label)
+
+    return property(get, set_)
+
+
+for _f in FIELDS:
+    setattr(NodeView, _f.name, _counted_property(_f.offset, _f.label))
+
+
+# --------------------------------------------------------------------- #
+# host plane
+# --------------------------------------------------------------------- #
+class HostNodeView:
+    """Uncounted numpy-backed view (bulk build, splits, validation)."""
+
+    __slots__ = ("_data", "_base", "_layout")
+
+    def __init__(self, data: np.ndarray, layout: NodeLayout, node: int) -> None:
+        self._data = data
+        self._base = layout.node_base(node)
+        self._layout = layout
+
+    @property
+    def keys(self) -> np.ndarray:
+        base = self._base + OFF_KEYS
+        return self._data[base : base + self._layout.fanout]
+
+    @property
+    def payload(self) -> np.ndarray:
+        base = self._base + self._layout.payload_off
+        return self._data[base : base + self._layout.fanout + 1]
+
+    children = payload
+    values = payload
+
+    def words(self) -> np.ndarray:
+        return self._data[self._base : self._base + self._layout.node_words]
+
+
+def _host_property(offset: int):
+    def get(self: HostNodeView) -> int:
+        return int(self._data[self._base + offset])
+
+    def set_(self: HostNodeView, value: int) -> None:
+        self._data[self._base + offset] = value
+
+    return property(get, set_)
+
+
+for _f in FIELDS:
+    setattr(HostNodeView, _f.name, _host_property(_f.offset))
+
+
+# --------------------------------------------------------------------- #
+# the bound factory + vectorized plane
+# --------------------------------------------------------------------- #
+class StructView:
+    """Layout-bound view factory over one arena.
+
+    Hands out per-node views on every plane, plus the vectorized address
+    helpers the level-synchronous batch traversal uses (whole-batch gathers
+    of one field or one key row per node).
+    """
+
+    def __init__(self, arena: MemoryArena, layout: NodeLayout) -> None:
+        self.arena = arena
+        self.layout = layout
+
+    # per-node views ----------------------------------------------------
+    def addrs(self, node: int) -> NodeAddrs:
+        return NodeAddrs(self.layout, node)
+
+    def node(self, node: int) -> NodeView:
+        return NodeView(self.arena, self.layout, node)
+
+    def host(self, node: int) -> HostNodeView:
+        return HostNodeView(self.arena.data, self.layout, node)
+
+    # vectorized (host-plane) helpers -----------------------------------
+    def node_bases(self, nodes: np.ndarray) -> np.ndarray:
+        lay = self.layout
+        return lay.base + np.asarray(nodes, dtype=np.int64) * lay.stride
+
+    def field_addrs(self, nodes: np.ndarray, name: str) -> np.ndarray:
+        """Address of field ``name`` for every node in ``nodes``."""
+        return self.node_bases(nodes) + FIELD_BY_NAME[name].offset
+
+    def host_field(self, nodes: np.ndarray, name: str) -> np.ndarray:
+        """Uncounted gather of one header field across ``nodes``."""
+        return self.arena.data[self.field_addrs(nodes, name)]
+
+    def key_rows(self, nodes: np.ndarray) -> np.ndarray:
+        """Key rows of ``nodes`` (host plane; shape ``len(nodes) x fanout``)."""
+        lay = self.layout
+        idx = self.node_bases(nodes)[:, None] + OFF_KEYS + np.arange(lay.fanout)
+        return self.arena.data[idx]
+
+    def payload_addrs(self, nodes: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Address of payload slot ``slots[i]`` in node ``nodes[i]``."""
+        return self.node_bases(nodes) + self.layout.payload_off + slots

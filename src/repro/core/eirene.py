@@ -38,7 +38,7 @@ from ..btree import batch_find_leaf, batch_leaf_lookup
 from ..btree.tree import BPlusTree
 from ..config import DeviceConfig, EireneConfig, FULL_EIRENE
 from ..errors import ConfigError
-from ..simt import CostModel, KernelLaunch, Mark
+from ..simt import CostModel, Mark
 from ..stm import DeviceStm, StmRegion
 from ..baselines.base import System, simt_response_times
 from ..baselines.model import (
@@ -393,7 +393,7 @@ class SimtQueryKernelPass(Pass):
         q_runs = ctx.art["q_runs"]
         q_keys = plan.issued_keys[q_runs]
 
-        launch = KernelLaunch(ctx.device, ctx.tree.arena, ctx.n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(ctx.n, rng=ctx.launch_rng())
 
         def on_result(slot: LaneSlot, val: int, steps: int, _horiz: bool) -> None:
             old_vals[slot.tag] = val
@@ -439,7 +439,7 @@ class SimtUpdateKernelPass(Pass):
         u_retries = np.zeros(ctx.n, dtype=np.int64)
         stm_before = system.stm.stats.snapshot()
 
-        launch = KernelLaunch(ctx.device, ctx.tree.arena, ctx.n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(ctx.n, rng=ctx.launch_rng())
 
         def on_result(slot: LaneSlot, val: int, steps: int, _horiz: bool) -> None:
             old_vals[slot.tag] = val
@@ -485,7 +485,7 @@ class SimtRangeScanPass(Pass):
         range_idx = np.flatnonzero(batch.kinds == OpKind.RANGE)
         if not range_idx.size:
             return
-        launch = KernelLaunch(ctx.device, ctx.tree.arena, ctx.n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(ctx.n, rng=ctx.launch_rng())
         for i in range_idx:
             launch.add_programs(
                 [system._range_program(int(i), int(batch.keys[i]), int(batch.range_ends[i]), raw)]
@@ -517,7 +517,7 @@ class SimtUnifiedKernelPass(Pass):
         u_retries = np.zeros(ctx.n, dtype=np.int64)
         stm_before = system.stm.stats.snapshot()
 
-        launch = KernelLaunch(ctx.device, ctx.tree.arena, ctx.n, rng=ctx.launch_rng())
+        launch = ctx.devctx.launch(ctx.n, rng=ctx.launch_rng())
 
         def on_result(slot: LaneSlot, val: int, steps: int, _horiz: bool) -> None:
             old_vals[slot.tag] = val
@@ -601,8 +601,9 @@ class EireneTree(System):
         device: DeviceConfig | None = None,
         config: EireneConfig = FULL_EIRENE,
         cost: CostModel | None = None,
+        devctx=None,
     ) -> None:
-        super().__init__(tree, device)
+        super().__init__(tree, device, devctx)
         if not config.enable_combining:
             raise ConfigError(
                 "EireneTree always combines; for the no-combining baseline "
@@ -611,7 +612,7 @@ class EireneTree(System):
         self.config = config
         self.stm = DeviceStm(tree.arena, stm_region)
         self.smo_lock_addr = smo_lock_addr
-        self.cost = cost or CostModel(device=self.device)
+        self.cost = cost or self.devctx.cost
 
     # ------------------------------------------------------------------ #
     # pipeline assembly: EireneConfig flags -> pass selection

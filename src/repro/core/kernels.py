@@ -36,7 +36,6 @@ from ..btree.device_ops import (
     d_smo_upsert,
     d_walk_leaves,
 )
-from ..btree.layout import OFF_COUNT, OFF_NEXT, OFF_RF, OFF_VERSION
 from ..btree.tree import BPlusTree
 from ..errors import SimulationError, TransactionAborted
 from ..simt import Branch, Load, Mark, Noop
@@ -59,26 +58,26 @@ def d_range_raw(tree: BPlusTree, lo: int, hi: int):
     """Unprotected range scan (pre-batch state; patched by RESULT_CAL).
 
     Returns (keys, values, steps)."""
-    lay = tree.layout
     leaf, steps = yield from d_find_leaf(tree, lo)
     ks: list[int] = []
     vs: list[int] = []
     node = leaf
     while True:
-        cnt = yield Load(lay.addr(node, OFF_COUNT))
+        a = tree.views.addrs(node)
+        cnt = yield Load(a.count)
         yield Branch()
         done = False
         for slot in range(cnt):
-            k = yield Load(lay.key_addr(node, slot))
+            k = yield Load(a.keys[slot])
             yield Branch()
             if k > hi:
                 done = True
                 break
             if k >= lo:
-                v = yield Load(lay.payload_addr(node, slot))
+                v = yield Load(a.values[slot])
                 ks.append(int(k))
                 vs.append(int(v))
-        nxt = yield Load(lay.addr(node, OFF_NEXT))
+        nxt = yield Load(a.next_leaf)
         yield Branch()
         if done or nxt == -1:
             return ks, vs, steps
@@ -151,7 +150,7 @@ def _d_attempt_leaf_op(
     Returns the old value; raises TransactionAborted to request a retry.
     """
     tx = stm.begin()
-    cur_vers = yield from stm.d_read(tx, tree.layout.addr(leaf, OFF_VERSION))
+    cur_vers = yield from stm.d_read(tx, tree.views.addrs(leaf).version)
     covers = yield from d_leaf_covers(tree, leaf, key)
     yield Branch()
     if cur_vers != leafvers or not covers:
@@ -190,7 +189,7 @@ def d_update(
     if leaf_hint is not None:
         leaf, steps = yield from d_walk_leaves(tree, leaf_hint, key)
         steps_total += steps
-        leafvers = yield Load(tree.layout.addr(leaf, OFF_VERSION))
+        leafvers = yield Load(tree.views.addrs(leaf).version)
         try:
             old = yield from _d_attempt_leaf_op(
                 tree, stm, smo_lock_addr, req_id, kind, key, value, leaf, leafvers
@@ -214,7 +213,7 @@ def d_update(
                 retries += 1
                 continue
         steps_total += steps
-        leafvers = yield Load(tree.layout.addr(leaf, OFF_VERSION))
+        leafvers = yield Load(tree.views.addrs(leaf).version)
         try:
             old = yield from _d_attempt_leaf_op(
                 tree, stm, smo_lock_addr, req_id, kind, key, value, leaf, leafvers
@@ -259,7 +258,6 @@ def make_iteration_lane_program(
     unprotected.
     """
     height = tree.height
-    lay = tree.layout
 
     def program():
         n_iters = len(slots)
@@ -302,7 +300,7 @@ def make_iteration_lane_program(
                 if lane == last_lane_of_iter[it] and my_leaf is not None:
                     if horiz and steps > height:
                         tree.update_rf(buffered, steps)
-                    rf = yield Load(lay.addr(my_leaf, OFF_RF))
+                    rf = yield Load(tree.views.addrs(my_leaf).rf)
                     shared["leaf"][it] = my_leaf
                     shared["rf"][it] = rf
                 yield Mark(slot.req_id)

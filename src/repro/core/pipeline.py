@@ -92,6 +92,10 @@ class PipelineContext:
         return self.system.device
 
     @property
+    def devctx(self):
+        return self.system.devctx
+
+    @property
     def imodel(self):
         return self.system.imodel
 

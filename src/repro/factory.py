@@ -15,6 +15,7 @@ import numpy as np
 from .btree.layout import NodeLayout
 from .btree.tree import BPlusTree
 from .config import COMBINING_ONLY, DeviceConfig, EireneConfig, FULL_EIRENE, TreeConfig
+from .device import DeviceContext
 from .memory import MemoryArena
 from .stm import StmRegion
 
@@ -33,6 +34,36 @@ EIRENE_VARIANTS: dict[str, EireneConfig] = {
 }
 
 
+def build_device_tree(
+    keys: np.ndarray,
+    values: np.ndarray,
+    config: TreeConfig | None = None,
+    fill_factor: float = 0.7,
+    with_stm_tables: bool = True,
+    device: DeviceConfig | None = None,
+    seed: int = 0,
+) -> tuple[DeviceContext, BPlusTree, StmRegion | None, int]:
+    """Build a tree inside a fresh :class:`~repro.device.DeviceContext`.
+
+    The context's arena is sized for the tree plus its synchronization
+    metadata. Returns ``(devctx, tree, stm_region, smo_lock_addr)``;
+    ``stm_region`` is None when ``with_stm_tables`` is False.
+    """
+    config = config or TreeConfig()
+    layout = NodeLayout(fanout=config.fanout)
+    max_nodes = BPlusTree.plan_max_nodes(len(keys), config, fill_factor)
+    node_words = layout.arena_words(max_nodes)
+    total = node_words + (2 * node_words if with_stm_tables else 0) + 64
+    arena = MemoryArena(total, words_per_segment=layout.words_per_segment)
+    devctx = DeviceContext.adopt(arena, device, seed=seed)
+    tree = BPlusTree.build(keys, values, config, fill_factor, arena=arena)
+    region = None
+    if with_stm_tables:
+        region = StmRegion(arena, tree.layout.base, node_words)
+    smo_lock_addr = arena.alloc(1)
+    return devctx, tree, region, smo_lock_addr
+
+
 def build_tree(
     keys: np.ndarray,
     values: np.ndarray,
@@ -43,19 +74,12 @@ def build_tree(
     """Build a tree in an arena sized for its synchronization metadata.
 
     Returns ``(tree, stm_region, smo_lock_addr)``; ``stm_region`` is None
-    when ``with_stm_tables`` is False.
+    when ``with_stm_tables`` is False. Convenience wrapper over
+    :func:`build_device_tree` for callers that don't need the context.
     """
-    config = config or TreeConfig()
-    layout = NodeLayout(fanout=config.fanout)
-    max_nodes = BPlusTree.plan_max_nodes(len(keys), config, fill_factor)
-    node_words = layout.arena_words(max_nodes)
-    total = node_words + (2 * node_words if with_stm_tables else 0) + 64
-    arena = MemoryArena(total, words_per_segment=layout.words_per_segment)
-    tree = BPlusTree.build(keys, values, config, fill_factor, arena=arena)
-    region = None
-    if with_stm_tables:
-        region = StmRegion(arena, tree.layout.base, node_words)
-    smo_lock_addr = arena.alloc(1)
+    _, tree, region, smo_lock_addr = build_device_tree(
+        keys, values, config, fill_factor, with_stm_tables
+    )
     return tree, region, smo_lock_addr
 
 
@@ -66,6 +90,7 @@ def make_system(
     tree_config: TreeConfig | None = None,
     device: DeviceConfig | None = None,
     fill_factor: float = 0.7,
+    seed: int = 0,
     **kwargs,
 ):
     """Build a ready-to-run system by name.
@@ -84,18 +109,28 @@ def make_system(
 
     name = system.lower()
     if name == "nocc":
-        tree, _, _ = build_tree(keys, values, tree_config, fill_factor, with_stm_tables=False)
-        return NoCCGBTree(tree, device, **kwargs)
+        ctx, tree, _, _ = build_device_tree(
+            keys, values, tree_config, fill_factor, with_stm_tables=False,
+            device=device, seed=seed,
+        )
+        return NoCCGBTree(tree, devctx=ctx, **kwargs)
     if name == "stm":
-        tree, region, smo = build_tree(keys, values, tree_config, fill_factor)
-        return StmGBTree(tree, region, smo, device, **kwargs)
+        ctx, tree, region, smo = build_device_tree(
+            keys, values, tree_config, fill_factor, device=device, seed=seed
+        )
+        return StmGBTree(tree, region, smo, devctx=ctx, **kwargs)
     if name == "lock":
-        tree, _, _ = build_tree(keys, values, tree_config, fill_factor, with_stm_tables=False)
-        return LockGBTree(tree, device, **kwargs)
+        ctx, tree, _, _ = build_device_tree(
+            keys, values, tree_config, fill_factor, with_stm_tables=False,
+            device=device, seed=seed,
+        )
+        return LockGBTree(tree, devctx=ctx, **kwargs)
     if name in EIRENE_VARIANTS:
         kwargs.setdefault("config", EIRENE_VARIANTS[name])
-        tree, region, smo = build_tree(keys, values, tree_config, fill_factor)
-        return EireneTree(tree, region, smo, device, **kwargs)
+        ctx, tree, region, smo = build_device_tree(
+            keys, values, tree_config, fill_factor, device=device, seed=seed
+        )
+        return EireneTree(tree, region, smo, devctx=ctx, **kwargs)
     raise ValueError(
         f"unknown system {system!r}; use nocc/stm/lock or one of "
         f"{sorted(EIRENE_VARIANTS)}"

@@ -30,6 +30,7 @@ from .figures import (
     linearizability_demo,
 )
 from .report import FigureResult
+from .scaling import shard_scaling
 
 __all__ = [
     "COMBINING_ONLY_CFG",
@@ -56,4 +57,5 @@ __all__ = [
     "linearizability_demo",
     "run_all",
     "run_system",
+    "shard_scaling",
 ]

@@ -15,7 +15,7 @@ import argparse
 import sys
 
 from ..simt.calibration import calibrate
-from . import ablations, figures
+from . import ablations, figures, scaling
 from .experiment import ExperimentConfig
 
 RUNNERS = {
@@ -34,6 +34,7 @@ RUNNERS = {
     "ablation-rf": lambda cfg: ablations.ablate_rf_decision(),
     "ablation-partition": lambda cfg: ablations.ablate_kernel_partition(),
     "ablation-skew": lambda cfg: ablations.ablate_skew(),
+    "shards": scaling.shard_scaling,
 }
 
 
@@ -52,6 +53,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--fanout", type=int, default=32)
     parser.add_argument("--sms", type=int, default=8)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--shard-counts", default="1,2,4,8", metavar="N,N,...",
+        help="shard counts for the 'shards' target (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--shard-system", default="eirene",
+        help="system to shard for the 'shards' target (default: eirene)",
+    )
+    parser.add_argument(
+        "--shard-executor", default="serial", choices=("serial", "thread"),
+        help="run shard pipelines serially or on a thread pool",
+    )
     return parser
 
 
@@ -74,7 +87,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     targets = list(RUNNERS) if args.target == "all" else [args.target]
     for name in targets:
-        print(RUNNERS[name](cfg).render())
+        if name == "shards":
+            counts = tuple(int(c) for c in args.shard_counts.split(","))
+            fig = scaling.shard_scaling(
+                cfg, shard_counts=counts,
+                system=args.shard_system, executor=args.shard_executor,
+            )
+        else:
+            fig = RUNNERS[name](cfg)
+        print(fig.render())
         print()
     return 0
 

@@ -60,16 +60,31 @@ class MemoryArena:
         """
         if nwords < 0:
             raise MemoryError_(f"cannot allocate {nwords} words")
+        if align < 1:
+            raise MemoryError_(f"alloc align must be >= 1, got {align}")
         base = self._brk
         if align > 1:
             base = (base + align - 1) // align * align
         if base + nwords > self._data.size:
             raise MemoryError_(
-                f"arena exhausted: need {nwords} words at {base}, "
-                f"capacity {self._data.size}"
+                f"arena exhausted: need {nwords} words at {base} "
+                f"({self.allocated} of {self.capacity} words already allocated)"
             )
         self._brk = base + nwords
         return base
+
+    def reset(self) -> None:
+        """Return the arena to its freshly-constructed state.
+
+        Rewinds the bump pointer, zeroes the backing words, and clears the
+        access statistics — cheaper than reallocating a new arena when a
+        caller (tests, shard re-use) wants a pristine device memory of the
+        same capacity.
+        """
+        self._data[:] = 0
+        self._brk = 0
+        self.stats.reset()
+        self.counting = True
 
     # ------------------------------------------------------------------ #
     # counted scalar accesses

@@ -2,7 +2,7 @@
 and per-pass pipeline traces."""
 
 from .profile import InstructionProfile, ProfileTable
-from .qos import ResponseTimeStats, response_time_stats
+from .qos import ResponseTimeStats, ShardQoS, response_time_stats
 from .throughput import ThroughputResult, combine
 from .trace import PassRecord, PipelineTrace, merge_traces
 
@@ -12,6 +12,7 @@ __all__ = [
     "PipelineTrace",
     "ProfileTable",
     "ResponseTimeStats",
+    "ShardQoS",
     "ThroughputResult",
     "combine",
     "merge_traces",

@@ -44,6 +44,33 @@ class ResponseTimeStats:
         )
 
 
+@dataclass(frozen=True)
+class ShardQoS:
+    """One shard's slice of a sharded batch: load, time, QoS band.
+
+    Produced by :func:`repro.sharding.merge.merge_shard_outcomes` (one entry
+    per non-empty shard in ``outcome.extras["shards"]``) so the harness can
+    report per-shard throughput and response-time variance next to the
+    merged batch numbers.
+    """
+
+    shard: int
+    n_requests: int
+    seconds: float
+    stats: "ResponseTimeStats"
+
+    @property
+    def throughput(self) -> float:
+        return self.n_requests / self.seconds if self.seconds > 0 else 0.0
+
+    def describe(self) -> str:
+        return (
+            f"shard {self.shard}: {self.n_requests} reqs in {self.seconds:.3e} s "
+            f"({self.throughput:.3e} req/s), variance "
+            f"{self.stats.variance_fraction * 100:.1f}%"
+        )
+
+
 def response_time_stats(per_request_seconds: np.ndarray, trim: float = 0.005) -> ResponseTimeStats:
     """Summarize per-request response times.
 

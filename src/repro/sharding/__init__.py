@@ -1,0 +1,22 @@
+"""Key-range sharding: route one request batch across N device contexts.
+
+The serving-layer extension of the single-GPU reproduction (ROADMAP
+north-star): a :class:`ShardPlan` cuts the key space at fence keys, a
+:class:`ShardRouter` splits each buffered batch (clipping cross-shard range
+queries at the fences), and a :class:`ShardedSystem` runs every shard's
+ordinary pass pipeline on its own :class:`~repro.device.DeviceContext`
+before :func:`merge_shard_outcomes` stitches results, response times, and
+per-shard traces back into one :class:`~repro.baselines.base.BatchOutcome`.
+"""
+
+from .merge import merge_shard_outcomes
+from .router import RoutedSubBatch, ShardPlan, ShardRouter
+from .system import ShardedSystem
+
+__all__ = [
+    "RoutedSubBatch",
+    "ShardPlan",
+    "ShardRouter",
+    "ShardedSystem",
+    "merge_shard_outcomes",
+]

@@ -1,0 +1,136 @@
+"""A sharded serving layer over N single-device systems.
+
+:class:`ShardedSystem` owns one fully independent system per shard — each
+with its own :class:`~repro.device.DeviceContext` (arena, cost model, RNG
+seed), tree, and synchronization machinery — plus the
+:class:`~repro.sharding.router.ShardRouter` that splits every incoming
+batch at the plan's fence keys. Processing a batch routes it, pushes each
+non-empty sub-batch through that shard's ordinary pass pipeline (serially
+or on a thread pool — shards share no mutable state, so threads are safe),
+and merges the per-shard outcomes with
+:func:`~repro.sharding.merge.merge_shard_outcomes`.
+
+The merged ``seconds`` is the straggler shard's time: shards model
+*separate GPUs running concurrently*, which is what the scaling benchmark
+measures (modeled throughput vs shard count).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from ..baselines.base import BatchOutcome, System
+from ..errors import ConfigError
+from ..lincheck import SequentialReference
+from ..workloads.requests import RequestBatch
+from .merge import merge_shard_outcomes
+from .router import RoutedSubBatch, ShardPlan, ShardRouter
+
+EXECUTORS = ("serial", "thread")
+
+
+class ShardedSystem:
+    """N key-range shards of one system kind, batched behind one router."""
+
+    def __init__(
+        self,
+        shards: list[System],
+        plan: ShardPlan,
+        executor: str = "serial",
+    ) -> None:
+        if len(shards) != plan.n_shards:
+            raise ConfigError(
+                f"{len(shards)} shard systems for a {plan.n_shards}-shard plan"
+            )
+        if executor not in EXECUTORS:
+            raise ConfigError(f"unknown executor {executor!r}; use one of {EXECUTORS}")
+        self.shards = list(shards)
+        self.plan = plan
+        self.router = ShardRouter(plan)
+        self.executor = executor
+        self.name = f"{shards[0].name}x{plan.n_shards}"
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        system: str,
+        keys: np.ndarray,
+        values: np.ndarray,
+        n_shards: int,
+        executor: str = "serial",
+        seed: int = 0,
+        **make_kwargs,
+    ) -> "ShardedSystem":
+        """Partition a load set at quantile fences and build one system per
+        shard (``make_kwargs`` go to :func:`repro.factory.make_system`;
+        shard ``s`` gets device seed ``seed + s``)."""
+        from ..factory import make_system
+
+        plan = ShardPlan.from_pool(keys, n_shards)
+        shards = [
+            make_system(system, ks, vs, seed=seed + s, **make_kwargs)
+            for s, (ks, vs) in enumerate(plan.partition_pool(keys, values))
+        ]
+        return cls(shards, plan, executor=executor)
+
+    @property
+    def n_shards(self) -> int:
+        return self.plan.n_shards
+
+    # ------------------------------------------------------------------ #
+    # batch processing
+    # ------------------------------------------------------------------ #
+    def process_batch(self, batch: RequestBatch, engine: str = "vector") -> BatchOutcome:
+        """Route, run every non-empty shard's pipeline, merge."""
+        routed = self.router.route(batch)
+        if self.executor == "thread" and self.n_shards > 1:
+            with ThreadPoolExecutor(max_workers=self.n_shards) as pool:
+                futures = [
+                    pool.submit(self._run_shard, r, engine) if r.n else None
+                    for r in routed
+                ]
+                outcomes = [f.result() if f is not None else None for f in futures]
+        else:
+            outcomes = [self._run_shard(r, engine) if r.n else None for r in routed]
+        return merge_shard_outcomes(batch, routed, outcomes, self.name)
+
+    def _run_shard(self, routed: RoutedSubBatch, engine: str) -> BatchOutcome:
+        return self.shards[routed.shard].process_batch(routed.batch, engine=engine)
+
+    # ------------------------------------------------------------------ #
+    # whole-fleet inspection (tests / lincheck)
+    # ------------------------------------------------------------------ #
+    def items(self) -> tuple[np.ndarray, np.ndarray]:
+        """All (key, value) pairs across shards, in global key order."""
+        ks, vs = zip(*(s.tree.items() for s in self.shards))
+        return np.concatenate(ks), np.concatenate(vs)
+
+    def validate(self) -> None:
+        """Every shard tree is valid and respects its fence bounds."""
+        for s, sys_ in enumerate(self.shards):
+            sys_.tree.validate()
+            keys, _ = sys_.tree.items()
+            if keys.size == 0:
+                continue
+            lo, hi = self.plan.bounds(s)
+            if int(keys[0]) < lo or int(keys[-1]) > hi:
+                raise ConfigError(
+                    f"shard {s} holds keys outside its range "
+                    f"[{lo}, {hi}]: [{keys[0]}, {keys[-1]}]"
+                )
+
+    def reference(self) -> SequentialReference:
+        """Sequential reference seeded with the fleet's current contents."""
+        keys, values = self.items()
+        return SequentialReference(keys, values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedSystem({self.name}, shards={self.n_shards}, "
+            f"executor={self.executor!r})"
+        )

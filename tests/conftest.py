@@ -33,9 +33,16 @@ def small_tree(tree_kv) -> BPlusTree:
     return BPlusTree.build(keys, values, TreeConfig(fanout=8))
 
 
-@pytest.fixture
-def arena() -> MemoryArena:
+@pytest.fixture(scope="session")
+def _arena_pool() -> MemoryArena:
+    """One session-wide arena, recycled between tests via ``reset()``."""
     return MemoryArena(4096)
+
+
+@pytest.fixture
+def arena(_arena_pool) -> MemoryArena:
+    _arena_pool.reset()
+    return _arena_pool
 
 
 @pytest.fixture

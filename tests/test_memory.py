@@ -31,13 +31,52 @@ class TestAllocation:
         with pytest.raises(MemoryError_):
             arena.alloc(10)
 
+    def test_exhaustion_reports_allocated_and_capacity(self):
+        arena = MemoryArena(16)
+        arena.alloc(10)
+        with pytest.raises(MemoryError_, match=r"10 of 16 words"):
+            arena.alloc(10)
+
     def test_negative_alloc_raises(self, arena):
         with pytest.raises(MemoryError_):
             arena.alloc(-1)
 
+    @pytest.mark.parametrize("align", [0, -1, -16])
+    def test_invalid_align_rejected(self, arena, align):
+        with pytest.raises(MemoryError_, match="align"):
+            arena.alloc(4, align=align)
+
     def test_zero_capacity_rejected(self):
         with pytest.raises(MemoryError_):
             MemoryArena(0)
+
+
+class TestReset:
+    def test_reset_rewinds_brk_and_zeroes_data(self):
+        arena = MemoryArena(64)
+        base = arena.alloc(8)
+        arena.write(base, 42)
+        arena.reset()
+        assert arena.allocated == 0
+        assert arena.read(base) == 0
+        # the freed region is allocatable again, from the start
+        assert arena.alloc(8) == 0
+
+    def test_reset_clears_stats_and_restores_counting(self):
+        arena = MemoryArena(64)
+        arena.read(0, label="x")
+        arena.counting = False
+        arena.reset()
+        assert arena.counting is True
+        assert arena.stats.accesses == 0
+        assert arena.stats.by_label == {}
+
+    def test_reset_preserves_identity_and_capacity(self):
+        arena = MemoryArena(64)
+        data = arena.data
+        arena.reset()
+        assert arena.data is data
+        assert arena.capacity == 64
 
 
 class TestScalarAccess:

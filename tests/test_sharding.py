@@ -1,0 +1,208 @@
+"""Shard router, sharded system, and scaling behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import OpKind, RequestBatch, ShardPlan, ShardRouter, ShardedSystem
+from repro.errors import ConfigError
+from repro.harness import ExperimentConfig, shard_scaling
+from repro.lincheck import SequentialReference, check_linearizable
+from repro.workloads import YcsbMix, YcsbWorkload, build_key_pool
+
+MIXED = YcsbMix(query=0.55, update=0.2, insert=0.1, delete=0.05, range_=0.1)
+
+
+def _pool(seed: int, size: int = 2**10):
+    return build_key_pool(size, np.random.default_rng(seed))
+
+
+# --------------------------------------------------------------------- #
+# ShardPlan
+# --------------------------------------------------------------------- #
+class TestShardPlan:
+    def test_from_pool_quantiles_balance_the_pool(self):
+        keys, _ = _pool(0, 2**12)
+        plan = ShardPlan.from_pool(keys, 4)
+        owner = plan.shard_of(keys)
+        counts = np.bincount(owner, minlength=4)
+        assert counts.sum() == keys.size
+        assert counts.max() - counts.min() <= 1
+
+    def test_single_shard_plan_owns_everything(self):
+        plan = ShardPlan.from_pool(np.arange(100), 1)
+        assert plan.n_shards == 1
+        assert plan.shard_of(np.array([-5, 0, 10**9])).tolist() == [0, 0, 0]
+
+    def test_bounds_tile_the_key_space(self):
+        plan = ShardPlan(fences=np.array([10, 20, 30], dtype=np.int64))
+        assert plan.n_shards == 4
+        for s in range(3):
+            hi = plan.bounds(s)[1]
+            lo_next = plan.bounds(s + 1)[0]
+            assert hi + 1 == lo_next
+        assert plan.shard_of(9) == 0
+        assert plan.shard_of(10) == 1
+        assert plan.shard_of(30) == 3
+
+    def test_partition_pool_respects_ownership(self):
+        keys, values = _pool(1)
+        plan = ShardPlan.from_pool(keys, 3)
+        parts = plan.partition_pool(keys, values)
+        assert sum(len(k) for k, _ in parts) == keys.size
+        for s, (ks, _) in enumerate(parts):
+            lo, hi = plan.bounds(s)
+            assert np.all((ks >= lo) & (ks <= hi))
+
+    def test_rejects_bad_plans(self):
+        with pytest.raises(ConfigError):
+            ShardPlan(fences=np.array([5, 5], dtype=np.int64))
+        with pytest.raises(ConfigError):
+            ShardPlan.from_pool(np.arange(3), 5)
+        with pytest.raises(ConfigError):
+            ShardPlan.from_pool(np.arange(10), 0)
+
+
+# --------------------------------------------------------------------- #
+# ShardRouter
+# --------------------------------------------------------------------- #
+class TestShardRouter:
+    def test_point_requests_go_to_their_owner(self):
+        plan = ShardPlan(fences=np.array([100], dtype=np.int64))
+        router = ShardRouter(plan)
+        batch = RequestBatch.from_ops(
+            [
+                (OpKind.QUERY, 50),
+                (OpKind.UPDATE, 150, 1),
+                (OpKind.DELETE, 99),
+                (OpKind.INSERT, 100, 2),
+            ]
+        )
+        routed = router.route(batch)
+        assert routed[0].origin.tolist() == [0, 2]
+        assert routed[1].origin.tolist() == [1, 3]
+
+    def test_arrival_order_is_preserved_per_shard(self):
+        keys, _ = _pool(2)
+        plan = ShardPlan.from_pool(keys, 4)
+        rng = np.random.default_rng(0)
+        batch = YcsbWorkload(pool=keys, mix=MIXED).generate(512, rng)
+        for sub in ShardRouter(plan).route(batch):
+            assert np.all(np.diff(sub.origin) > 0)
+
+    def test_cross_shard_range_is_clipped_at_fences(self):
+        plan = ShardPlan(fences=np.array([100, 200], dtype=np.int64))
+        router = ShardRouter(plan)
+        batch = RequestBatch.from_ops([(OpKind.RANGE, 50, 250)])
+        routed = router.route(batch)
+        pieces = [
+            (int(sub.batch.keys[0]), int(sub.batch.range_ends[0]))
+            for sub in routed
+            if sub.n
+        ]
+        assert pieces == [(50, 99), (100, 199), (200, 250)]
+        assert all(sub.origin.tolist() == [0] for sub in routed if sub.n)
+
+    def test_contained_range_visits_one_shard(self):
+        plan = ShardPlan(fences=np.array([100], dtype=np.int64))
+        batch = RequestBatch.from_ops([(OpKind.RANGE, 10, 20)])
+        routed = ShardRouter(plan).route(batch)
+        assert routed[0].n == 1 and routed[1].n == 0
+
+
+# --------------------------------------------------------------------- #
+# ShardedSystem: linearizability + equivalence with the single tree
+# --------------------------------------------------------------------- #
+class TestShardedSystem:
+    @pytest.mark.parametrize("n_shards", [1, 2, 3, 4])
+    def test_mixed_batches_linearizable(self, n_shards):
+        keys, values = _pool(3)
+        fleet = ShardedSystem.build("eirene", keys, values, n_shards=n_shards)
+        rng = np.random.default_rng(7)
+        wl = YcsbWorkload(pool=keys, mix=MIXED)
+        ref = SequentialReference(keys, values)
+        for _ in range(2):
+            batch = wl.generate(512, rng)
+            out = fleet.process_batch(batch)
+            rep = check_linearizable(batch, out.results, ref.execute(batch))
+            assert rep.ok, rep.describe(batch)
+        fleet.validate()
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_sharded_equals_single_tree(self, seed):
+        """Property: results and final contents match the 1-shard system."""
+        keys, values = _pool(seed)
+        single = ShardedSystem.build("eirene", keys, values, n_shards=1, seed=0)
+        fleet = ShardedSystem.build("eirene", keys, values, n_shards=4, seed=0)
+        rng_a = np.random.default_rng(seed)
+        rng_b = np.random.default_rng(seed)
+        wl_a = YcsbWorkload(pool=keys, mix=MIXED)
+        wl_b = YcsbWorkload(pool=keys, mix=MIXED)
+        for _ in range(2):
+            batch = wl_a.generate(256, rng_a)
+            batch_b = wl_b.generate(256, rng_b)
+            out_a = single.process_batch(batch)
+            out_b = fleet.process_batch(batch_b)
+            np.testing.assert_array_equal(out_a.results.values, out_b.results.values)
+            np.testing.assert_array_equal(
+                out_a.results.range_offsets, out_b.results.range_offsets
+            )
+            np.testing.assert_array_equal(
+                out_a.results.range_keys, out_b.results.range_keys
+            )
+            np.testing.assert_array_equal(
+                out_a.results.range_values, out_b.results.range_values
+            )
+        ka, va = single.items()
+        kb, vb = fleet.items()
+        np.testing.assert_array_equal(ka, kb)
+        np.testing.assert_array_equal(va, vb)
+
+    def test_thread_executor_matches_serial(self):
+        keys, values = _pool(4)
+        rng = np.random.default_rng(5)
+        batch = YcsbWorkload(pool=keys, mix=MIXED).generate(256, rng)
+        serial = ShardedSystem.build("stm", keys, values, n_shards=3, executor="serial")
+        threaded = ShardedSystem.build("stm", keys, values, n_shards=3, executor="thread")
+        out_s = serial.process_batch(batch)
+        out_t = threaded.process_batch(batch)
+        np.testing.assert_array_equal(out_s.results.values, out_t.results.values)
+        np.testing.assert_array_equal(out_s.results.range_keys, out_t.results.range_keys)
+        assert out_s.seconds == pytest.approx(out_t.seconds)
+
+    def test_merged_outcome_carries_per_shard_breakdown(self):
+        keys, values = _pool(6)
+        fleet = ShardedSystem.build("lock", keys, values, n_shards=2)
+        rng = np.random.default_rng(1)
+        batch = YcsbWorkload(pool=keys).generate(256, rng)
+        out = fleet.process_batch(batch)
+        qos = out.extras["shards"]
+        assert [q.shard for q in qos] == [0, 1]
+        assert sum(q.n_requests for q in qos) == batch.n
+        assert out.seconds == pytest.approx(max(q.seconds for q in qos))
+        assert all(q.throughput > 0 for q in qos)
+        assert "straggler" in repr(out.extras["straggler_shard"]) or isinstance(
+            out.extras["straggler_shard"], int
+        )
+        # merged trace sums per-shard traces; shard traces kept individually
+        assert out.trace is not None
+        assert set(out.extras["shard_traces"]) == {0, 1}
+
+    def test_build_rejects_executor_typo(self):
+        keys, values = _pool(8)
+        with pytest.raises(ConfigError):
+            ShardedSystem.build("nocc", keys, values, n_shards=2, executor="processes")
+
+
+# --------------------------------------------------------------------- #
+# scaling benchmark (harness)
+# --------------------------------------------------------------------- #
+def test_shard_scaling_reports_speedup_floor():
+    cfg = ExperimentConfig(
+        tree_size=2**11, batch_size=2**10, n_batches=1, fanout=8, num_sms=4
+    )
+    fig = shard_scaling(cfg, shard_counts=(1, 2, 4))
+    assert fig.value("4 shards", "speedup") >= 1.5
+    assert fig.value("1 shard", "speedup") == 1.0
+    assert any("merged trace" in n for n in fig.notes)

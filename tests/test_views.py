@@ -1,0 +1,206 @@
+"""Typed node views: address arithmetic, planes, labels, vector helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import EMPTY_KEY, TreeConfig
+from repro.btree import BPlusTree
+from repro.btree.layout import (
+    HEADER_WORDS,
+    OFF_COUNT,
+    OFF_FENCE,
+    OFF_KEYS,
+    OFF_LEAF,
+    OFF_LOCK,
+    OFF_NEXT,
+    OFF_RF,
+    OFF_VERSION,
+    NodeLayout,
+)
+from repro.btree.views import FIELD_BY_NAME, FIELDS, StructView
+from repro.memory import MemoryArena
+
+
+@pytest.fixture
+def layout() -> NodeLayout:
+    # non-zero base: views must honor the node region's offset in the arena
+    return NodeLayout(fanout=8, base=64)
+
+
+@pytest.fixture
+def view(layout) -> StructView:
+    arena = MemoryArena(layout.arena_words(16) + layout.base)
+    arena.alloc(arena.capacity)
+    return StructView(arena, layout)
+
+
+class TestFieldTable:
+    def test_one_field_per_header_word(self):
+        assert len(FIELDS) == HEADER_WORDS
+        assert sorted(f.offset for f in FIELDS) == list(range(HEADER_WORDS))
+
+    def test_offsets_match_layout_constants(self):
+        expect = {
+            "count": OFF_COUNT,
+            "leaf": OFF_LEAF,
+            "version": OFF_VERSION,
+            "rf": OFF_RF,
+            "next_leaf": OFF_NEXT,
+            "lock": OFF_LOCK,
+            "fence": OFF_FENCE,
+        }
+        for name, off in expect.items():
+            assert FIELD_BY_NAME[name].offset == off
+
+
+class TestAddressPlane:
+    @pytest.mark.parametrize("node", [0, 1, 7, 15])
+    def test_header_addrs_match_layout(self, layout, view, node):
+        a = view.addrs(node)
+        assert a.count == layout.addr(node, OFF_COUNT)
+        assert a.version == layout.addr(node, OFF_VERSION)
+        assert a.rf == layout.addr(node, OFF_RF)
+        assert a.next_leaf == layout.addr(node, OFF_NEXT)
+        assert a.lock == layout.addr(node, OFF_LOCK)
+        assert a.fence == layout.addr(node, OFF_FENCE)
+
+    def test_key_and_payload_addrs(self, layout, view):
+        a = view.addrs(3)
+        for slot in range(layout.fanout):
+            assert a.keys[slot] == layout.key_addr(3, slot)
+        for slot in range(layout.fanout + 1):
+            assert a.payload[slot] == layout.payload_addr(3, slot)
+        np.testing.assert_array_equal(
+            a.keys[:], layout.node_base(3) + OFF_KEYS + np.arange(layout.fanout)
+        )
+        assert a.children is a.payload or a.children[0] == a.payload[0]
+
+    def test_words_cover_the_node(self, layout, view):
+        w = view.addrs(2).words()
+        assert w[0] == layout.node_base(2)
+        assert len(w) == layout.node_words
+
+
+class TestCountedPlane:
+    def test_counted_reads_charge_the_canonical_labels(self, view):
+        arena = view.arena
+        arena.stats.reset()
+        n = view.node(0)
+        _ = n.count
+        _ = n.version
+        _ = n.rf
+        _ = n.fence
+        _ = n.next_leaf
+        _ = n.keys[0]
+        _ = n.payload[0]
+        labels = arena.stats.by_label
+        for want in ("node_header", "version", "rf", "fence", "leaf_chain", "keys", "payload"):
+            assert want in labels, f"missing counted label {want!r} in {labels}"
+
+    def test_counted_write_and_row_read(self, view):
+        n = view.node(1)
+        n.count = 5
+        n.keys[2] = 42
+        assert n.count == 5
+        assert n.keys[2] == 42
+        row = n.keys[:]
+        assert row[2] == 42 and len(row) == len(n.keys)
+
+    def test_bump_version_is_atomic_increment(self, view):
+        n = view.node(1)
+        before = n.version
+        assert n.bump_version() == before + 1
+        assert n.version == before + 1
+
+
+class TestHostPlane:
+    def test_host_views_bypass_counting(self, view):
+        view.arena.stats.reset()
+        h = view.host(0)
+        h.count = 3
+        h.fence = 17
+        h.keys[:] = 9
+        assert view.arena.stats.accesses == 0
+        assert h.count == 3 and h.fence == 17
+        assert int(h.keys[0]) == 9
+
+    def test_host_and_counted_planes_alias_the_same_words(self, view):
+        h = view.host(2)
+        h.next_leaf = 123
+        assert view.node(2).next_leaf == 123
+
+
+class TestVectorHelpers:
+    def test_field_addrs_and_host_field(self, layout, view):
+        nodes = np.array([0, 3, 5], dtype=np.int64)
+        for node in nodes:
+            view.host(int(node)).fence = 100 + int(node)
+        addrs = view.field_addrs(nodes, "fence")
+        np.testing.assert_array_equal(
+            addrs, [layout.addr(int(n), OFF_FENCE) for n in nodes]
+        )
+        np.testing.assert_array_equal(view.host_field(nodes, "fence"), [100, 103, 105])
+
+    def test_key_rows_matches_per_node_reads(self, layout, view):
+        nodes = np.array([1, 4], dtype=np.int64)
+        for node in nodes:
+            view.host(int(node)).keys[:] = np.arange(layout.fanout) + int(node) * 10
+        rows = view.key_rows(nodes)
+        assert rows.shape == (2, layout.fanout)
+        for i, node in enumerate(nodes):
+            np.testing.assert_array_equal(rows[i], view.host(int(node)).keys)
+
+    def test_payload_addrs(self, layout, view):
+        nodes = np.array([2, 6], dtype=np.int64)
+        slots = np.array([0, 3], dtype=np.int64)
+        np.testing.assert_array_equal(
+            view.payload_addrs(nodes, slots),
+            [layout.payload_addr(2, 0), layout.payload_addr(6, 3)],
+        )
+
+
+class TestTreeIntegration:
+    def test_views_track_arena_rebinding(self):
+        """Transplanting a tree into a bigger arena must not leave views
+        pointing at the old storage (regression: stale StructView after
+        ``tree.arena = bigger``)."""
+        keys = np.arange(0, 200, 2, dtype=np.int64)
+        tree = BPlusTree.build(keys, keys, TreeConfig(fanout=8))
+        old_data = tree.arena.data
+        bigger = MemoryArena(tree.arena.capacity * 2)
+        bigger.data[: old_data.size] = old_data
+        bigger.alloc(old_data.size)
+        tree.arena = bigger
+        tree.nodes.arena = bigger
+        assert tree.views.arena is bigger
+        assert tree.nodes.views.arena is bigger
+        tree.upsert(1, 7)  # mutations land in the new arena
+        assert tree.search(1) == 7
+        got = np.array_equal(old_data, bigger.data[: old_data.size])
+        assert not got, "write went to the transplanted-away arena"
+
+    def test_accessor_delegates_to_views(self):
+        keys = np.arange(0, 64, 2, dtype=np.int64)
+        tree = BPlusTree.build(keys, keys + 1, TreeConfig(fanout=8))
+        acc = tree.nodes
+        leaf, _ = tree.find_leaf(10)
+        assert acc.count(leaf) == tree.views.host(leaf).count
+        assert acc.is_leaf(leaf)
+        assert acc.key(leaf, 0) == int(tree.views.host(leaf).keys[0])
+        np.testing.assert_array_equal(acc.host_keys(leaf), tree.views.host(leaf).keys)
+
+    def test_clear_node_initializes_empty_leaf(self):
+        lay = NodeLayout(fanout=8)
+        arena = MemoryArena(lay.arena_words(4))
+        arena.alloc(arena.capacity)
+        view = StructView(arena, lay)
+        arena.data[:] = -7  # garbage
+        from repro.btree.node import NodeAccessor
+
+        NodeAccessor(arena, lay).clear_node(1, leaf=True)
+        h = view.host(1)
+        assert h.leaf == 1 and h.count == 0
+        assert h.next_leaf == -1 and h.rf == EMPTY_KEY
+        assert np.all(h.keys == EMPTY_KEY)
