@@ -1,0 +1,53 @@
+"""Sanitizer suite: dynamic race detection, device-code lint, hotspots.
+
+Three engines over the SIMT interpreter's perfect per-instruction
+visibility (see DESIGN.md §8):
+
+* :mod:`repro.analysis.races` — shadow-memory data-race detector
+  (:class:`Sanitizer`), attached opt-in to a
+  :class:`~repro.device.DeviceContext`;
+* :mod:`repro.analysis.lint` — static AST lint of the device Op protocol
+  (``python -m repro.analysis.lint``);
+* :mod:`repro.analysis.hotspots` — per-address-class divergence and
+  coalescing attribution (:class:`HotspotProfiler`).
+"""
+
+from .addrmap import AddressMap
+from .hotspots import HotspotProfiler, HotspotReport, attach_hotspots
+from .races import (
+    AccessRecord,
+    CompositeProbe,
+    DeviceProbe,
+    RaceReport,
+    Sanitizer,
+    attach_sanitizer,
+)
+
+__all__ = [
+    "AccessRecord",
+    "AddressMap",
+    "CompositeProbe",
+    "DeviceProbe",
+    "Finding",
+    "HotspotProfiler",
+    "HotspotReport",
+    "RaceReport",
+    "Sanitizer",
+    "attach_hotspots",
+    "attach_sanitizer",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]
+
+#: lint exports resolve lazily so ``python -m repro.analysis.lint`` does
+#: not import the module twice (once here, once as __main__)
+_LINT_NAMES = ("Finding", "lint_file", "lint_paths", "lint_source")
+
+
+def __getattr__(name: str):
+    if name in _LINT_NAMES:
+        from . import lint
+
+        return getattr(lint, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

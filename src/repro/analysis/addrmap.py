@@ -1,0 +1,191 @@
+"""Arena address classification shared by the sanitizer engines.
+
+The race detector and the hotspot profiler both need to answer, for a raw
+word address, "what *is* this word?" — a node header field, a key slot, an
+STM metadata word, a standalone latch. An :class:`AddressMap` is told which
+structures live in an arena (:meth:`watch_tree`, :meth:`watch_stm_region`,
+:meth:`add_lock_word`) and then classifies and names addresses using the
+same declarative :data:`~repro.btree.views.FIELDS` table the typed node
+views are generated from, so reports speak layout language ("node 12
+keys[3]") instead of raw offsets.
+
+Classification kinds:
+
+``lock``
+    a synchronization word acquired/released via CAS/store — per-node latch
+    words (``OFF_LOCK``), registered standalone latches (the SMO latch).
+``version``
+    a validation word (node ``OFF_VERSION``, STM version table): written to
+    *signal* writers, read to *validate* — never a data race by protocol.
+``stm_owner``
+    an STM ownership-table word; CAS/store traffic here drives the lockset.
+``data``
+    everything else — the words the race detector actually checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..btree.layout import OFF_LEAF, OFF_LOCK, OFF_VERSION
+from ..btree.views import FIELDS
+
+#: FIELDS row by header offset (offsets are dense: 0 .. HEADER_WORDS - 1)
+_FIELD_BY_OFFSET = {f.offset: f for f in FIELDS}
+
+
+@dataclass(frozen=True)
+class NodeRegion:
+    """One tree's node block: address arithmetic + the arena for leaf bits."""
+
+    base: int
+    end: int
+    stride: int
+    node_words: int
+    payload_off: int
+    header_words: int
+    arena: object  # MemoryArena; only ``.data`` is read (leaf flag)
+
+    def locate(self, addr: int) -> tuple[int, int]:
+        """``(node_id, offset)`` of an address inside this region."""
+        rel = addr - self.base
+        return rel // self.stride, rel % self.stride
+
+    def is_leaf(self, node_id: int) -> bool:
+        return int(self.arena.data[self.base + node_id * self.stride + OFF_LEAF]) == 1
+
+
+@dataclass(frozen=True)
+class StmTables:
+    """One STM region's metadata ranges, mapped back to their data words."""
+
+    owner_base: int
+    version_base: int
+    data_base: int
+    nwords: int
+
+
+class AddressMap:
+    """Classify and describe raw arena addresses."""
+
+    def __init__(self) -> None:
+        self._nodes: list[NodeRegion] = []
+        self._stm: list[StmTables] = []
+        self._locks: dict[int, str] = {}
+
+    # ------------------------------------------------------------------ #
+    # registration
+    # ------------------------------------------------------------------ #
+    def watch_tree(self, tree) -> None:
+        """Register a B+tree's node block (layout + max_nodes)."""
+        lay = tree.layout
+        self._nodes.append(
+            NodeRegion(
+                base=lay.base,
+                end=lay.base + tree.max_nodes * lay.stride,
+                stride=lay.stride,
+                node_words=lay.node_words,
+                payload_off=lay.payload_off,
+                header_words=len(FIELDS),
+                arena=tree.arena,
+            )
+        )
+
+    def watch_stm_region(self, region) -> None:
+        """Register an :class:`~repro.stm.StmRegion`'s metadata tables."""
+        self._stm.append(
+            StmTables(
+                owner_base=region.owner_base,
+                version_base=region.version_base,
+                data_base=region.data_base,
+                nwords=region.nwords,
+            )
+        )
+
+    def add_lock_word(self, addr: int, name: str = "latch") -> None:
+        """Register a standalone latch word (e.g. the SMO latch)."""
+        self._locks[addr] = name
+
+    # ------------------------------------------------------------------ #
+    # classification
+    # ------------------------------------------------------------------ #
+    def classify(self, addr: int) -> tuple[str, int | None]:
+        """``(kind, aux)`` for an address.
+
+        ``kind`` ∈ {"lock", "version", "stm_owner", "data"}; for
+        ``stm_owner`` the aux value is the *data* word the ownership entry
+        guards.
+        """
+        if addr in self._locks:
+            return "lock", None
+        for t in self._stm:
+            if t.owner_base <= addr < t.owner_base + t.nwords:
+                return "stm_owner", t.data_base + (addr - t.owner_base)
+            if t.version_base <= addr < t.version_base + t.nwords:
+                return "version", None
+        for r in self._nodes:
+            if r.base <= addr < r.end:
+                _, off = r.locate(addr)
+                if off == OFF_LOCK:
+                    return "lock", None
+                if off == OFF_VERSION:
+                    return "version", None
+                return "data", None
+        return "data", None
+
+    # ------------------------------------------------------------------ #
+    # naming
+    # ------------------------------------------------------------------ #
+    def describe(self, addr: int) -> str:
+        """Human name for an address ("node 12 keys[3]", "stm owner(...)")."""
+        if addr in self._locks:
+            return self._locks[addr]
+        for t in self._stm:
+            if t.owner_base <= addr < t.owner_base + t.nwords:
+                inner = self.describe(t.data_base + (addr - t.owner_base))
+                return f"stm owner({inner})"
+            if t.version_base <= addr < t.version_base + t.nwords:
+                inner = self.describe(t.data_base + (addr - t.version_base))
+                return f"stm version({inner})"
+        for r in self._nodes:
+            if r.base <= addr < r.end:
+                node, off = r.locate(addr)
+                if off < r.header_words:
+                    return f"node {node} {_FIELD_BY_OFFSET[off].name}"
+                if off < r.payload_off:
+                    return f"node {node} keys[{off - r.header_words}]"
+                if off < r.node_words:
+                    slot = off - r.payload_off
+                    part = "values" if r.is_leaf(node) else "children"
+                    return f"node {node} {part}[{slot}]"
+                return f"node {node} pad[{off}]"
+        return f"word {addr}"
+
+    def bucket(self, addr: int) -> str:
+        """Coarse address class for hotspot aggregation."""
+        if addr in self._locks:
+            return "latch"
+        for t in self._stm:
+            if t.owner_base <= addr < t.owner_base + t.nwords:
+                return "stm.owner"
+            if t.version_base <= addr < t.version_base + t.nwords:
+                return "stm.version"
+        for r in self._nodes:
+            if r.base <= addr < r.end:
+                node, off = r.locate(addr)
+                if off < r.header_words:
+                    return f"node.{_FIELD_BY_OFFSET[off].name}"
+                kind = "leaf" if r.is_leaf(node) else "inner"
+                if off < r.payload_off:
+                    return f"{kind}.keys"
+                if off < r.node_words:
+                    return f"{kind}.values" if kind == "leaf" else "inner.children"
+                return "node.pad"
+        return "other"
+
+    def node_of(self, addr: int) -> int | None:
+        """Node id owning ``addr`` when it lies in a watched node block."""
+        for r in self._nodes:
+            if r.base <= addr < r.end:
+                return r.locate(addr)[0]
+        return None

@@ -74,6 +74,10 @@ class DeviceContext:
             cost = CostModel(device=self.device)
         self.cost = cost
         self.seed = seed
+        #: opt-in analysis probe (e.g. :class:`repro.analysis.Sanitizer`);
+        #: every SIMT launch created by this context routes its executed ops
+        #: through it. ``None`` (the default) is the zero-overhead path.
+        self.sanitizer = None
 
     # ------------------------------------------------------------------ #
     # ownership views
@@ -91,15 +95,33 @@ class DeviceContext:
         """A :class:`~repro.simt.KernelLaunch` grid on this device."""
         from .simt import KernelLaunch
 
-        return KernelLaunch(self.device, self.arena, n_requests, rng=rng)
+        return KernelLaunch(
+            self.device, self.arena, n_requests, rng=rng, probe=self.sanitizer
+        )
+
+    def attach_probe(self, probe) -> None:
+        """Attach an analysis probe; composes with any already attached."""
+        if self.sanitizer is None:
+            self.sanitizer = probe
+        else:
+            from .analysis.races import CompositeProbe
+
+            if isinstance(self.sanitizer, CompositeProbe):
+                self.sanitizer.probes.append(probe)
+            else:
+                self.sanitizer = CompositeProbe([self.sanitizer, probe])
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
     def snapshot(self) -> DeviceSnapshot:
-        """Capture arena words, bump pointer and counters."""
+        """Capture arena words, bump pointer and counters.
+
+        Only the device-visible heap is captured — sanitizer shadow words
+        (``alloc_system``) are analysis state, not device state.
+        """
         return DeviceSnapshot(
-            data=self.arena.data.copy(),
+            data=self.arena.data[: self.arena.capacity].copy(),
             brk=self.arena.allocated,
             stats=self.arena.stats.snapshot(),
             counting=self.arena.counting,
@@ -112,7 +134,7 @@ class DeviceContext:
             raise ConfigError(
                 f"snapshot capacity {snap.data.size} != arena {self.arena.capacity}"
             )
-        np.copyto(self.arena.data, snap.data)
+        np.copyto(self.arena.data[: self.arena.capacity], snap.data)
         self.arena._brk = snap.brk
         self.arena.stats = snap.stats.snapshot()
         self.arena.counting = snap.counting
@@ -129,7 +151,7 @@ class DeviceContext:
             cost=self.cost,
             seed=self.seed if seed is None else seed,
         )
-        np.copyto(twin.arena.data, self.arena.data)
+        np.copyto(twin.arena.data, self.arena.data[: self.arena.capacity])
         twin.arena._brk = self.arena.allocated
         twin.arena.stats = self.arena.stats.snapshot()
         twin.arena.counting = self.arena.counting

@@ -30,6 +30,7 @@ from .figures import (
     linearizability_demo,
 )
 from .report import FigureResult
+from .sanitize import sanitize_report, sanitize_systems
 from .scaling import shard_scaling
 
 __all__ = [
@@ -57,5 +58,7 @@ __all__ = [
     "linearizability_demo",
     "run_all",
     "run_system",
+    "sanitize_report",
+    "sanitize_systems",
     "shard_scaling",
 ]

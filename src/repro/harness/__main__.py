@@ -7,6 +7,7 @@ Usage::
     python -m repro.harness fig07 --tree-size 15 --batch-size 13 --sms 8
     python -m repro.harness all            # every figure (slow)
     python -m repro.harness calibrate      # SIMT vs vector cross-check
+    python -m repro.harness sanitize       # race-detector gate (small cfg)
 """
 
 from __future__ import annotations
@@ -17,6 +18,7 @@ import sys
 from ..simt.calibration import calibrate
 from . import ablations, figures, scaling
 from .experiment import ExperimentConfig
+from .sanitize import sanitize_report
 
 RUNNERS = {
     "fig01": figures.fig01_profiling,
@@ -44,8 +46,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce figures of the Eirene paper (PPoPP'23).",
     )
     parser.add_argument(
-        "target", choices=[*RUNNERS, "all", "list", "calibrate"],
-        help="figure id, 'all', 'list', or 'calibrate'",
+        "target", choices=[*RUNNERS, "all", "list", "calibrate", "sanitize"],
+        help="figure id, 'all', 'list', 'calibrate', or 'sanitize'",
     )
     parser.add_argument("--tree-size", type=int, default=14, metavar="LOG2")
     parser.add_argument("--batch-size", type=int, default=13, metavar="LOG2")
@@ -76,6 +78,12 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.target == "calibrate":
         print(calibrate().render())
+        return 0
+    if args.target == "sanitize":
+        # race-detector gate: uses its own small SIMT config (every op is
+        # interpreted *and* observed; the figure-scale flags don't apply);
+        # raises and exits non-zero when an expectation fails
+        print(sanitize_report().render())
         return 0
     cfg = ExperimentConfig(
         tree_size=2**args.tree_size,

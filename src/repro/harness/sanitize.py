@@ -1,0 +1,109 @@
+"""The ``sanitize`` harness target: race-detect every system under YCSB-A.
+
+Runs each system's SIMT engine on a small update-heavy workload with a
+:class:`~repro.analysis.Sanitizer` and a
+:class:`~repro.analysis.HotspotProfiler` attached, and checks the
+expectation that motivates the whole suite: the unsynchronized baseline
+(NoCC) **must** race, the synchronized systems (Lock, STM, Eirene) **must
+not**. CI runs this as a gate; :func:`sanitize_report` raises
+:class:`~repro.errors.SimulationError` on any violated expectation so the
+job fails loudly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..analysis import attach_hotspots, attach_sanitizer
+from ..errors import SimulationError
+from ..factory import make_system
+from ..workloads import YcsbWorkload, build_key_pool
+from ..workloads.ycsb import YCSB_A
+from .experiment import SYSTEM_LABELS, SYSTEMS, ExperimentConfig
+from .report import FigureResult
+
+#: systems expected to produce at least one RaceReport under YCSB-A
+RACY_SYSTEMS = frozenset({"nocc"})
+
+
+def default_sanitize_config() -> ExperimentConfig:
+    """Small update-heavy SIMT config (the detector sees every op; keep
+    the instruction stream short)."""
+    return ExperimentConfig(
+        tree_size=2**10,
+        batch_size=2**9,
+        n_batches=2,
+        fanout=8,
+        num_sms=4,
+        mix=YCSB_A,
+        engine="simt",
+    )
+
+
+def sanitize_systems(
+    cfg: ExperimentConfig | None = None,
+    systems: tuple[str, ...] = SYSTEMS,
+) -> FigureResult:
+    """Run every system under the sanitizer; tabulate races and hotspots."""
+    cfg = cfg or default_sanitize_config()
+    fig = FigureResult(
+        figure="sanitize",
+        title="data-race detector + hotspot attribution (YCSB-A, SIMT)",
+        columns=["races", "W/W", "R/W", "same-slot", "expected", "verdict"],
+        paper_notes=[
+            "Eirene's claim (PAPER.md §3-4): combining removes the races an",
+            "unsynchronized GB-tree exhibits; Lock/STM/Eirene must be clean.",
+        ],
+    )
+    for name in systems:
+        rng = np.random.default_rng(cfg.seed)
+        keys, values = build_key_pool(cfg.tree_size, rng)
+        sys_ = make_system(
+            name, keys, values,
+            tree_config=cfg.tree_config,
+            device=cfg.device,
+            fill_factor=cfg.fill_factor,
+        )
+        san = attach_sanitizer(sys_)
+        hot = attach_hotspots(sys_)
+        wl = YcsbWorkload(pool=keys, mix=cfg.mix, distribution=cfg.distribution)
+        for _ in range(cfg.n_batches):
+            batch = wl.generate(cfg.batch_size, rng)
+            sys_.process_batch(batch, engine="simt")
+        sys_.tree.validate()
+
+        races = san.reports
+        ww = sum(1 for r in races if r.kind == "W/W")
+        rw = sum(1 for r in races if r.kind == "R/W")
+        same = sum(1 for r in races if r.same_slot)
+        expect = "racy" if name in RACY_SYSTEMS else "clean"
+        ok = bool(races) if name in RACY_SYSTEMS else not races
+        fig.add_row(
+            SYSTEM_LABELS.get(name, name),
+            len(races), ww, rw, same, expect, "ok" if ok else "FAIL",
+        )
+        if races:
+            fig.notes.append(f"{name}: first race: {races[0]}")
+        top = hot.report().ranked()
+        if top:
+            bname, b = top[0]
+            fig.notes.append(
+                f"{name}: hottest bucket {bname} "
+                f"(waste={b.waste}, div={b.divergent_slots}, "
+                f"accesses={b.accesses})"
+            )
+    return fig
+
+
+def sanitize_report(
+    cfg: ExperimentConfig | None = None,
+    systems: tuple[str, ...] = SYSTEMS,
+) -> FigureResult:
+    """:func:`sanitize_systems` + hard gate on the expectations column."""
+    fig = sanitize_systems(cfg, systems)
+    bad = [row[0] for row in fig.rows if row[6] != "ok"]
+    if bad:
+        raise SimulationError(
+            f"sanitize gate failed for: {', '.join(bad)}\n{fig.render()}"
+        )
+    return fig

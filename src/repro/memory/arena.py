@@ -35,6 +35,8 @@ class MemoryArena:
             raise MemoryError_(f"arena capacity must be positive, got {capacity_words}")
         self._data = np.zeros(capacity_words, dtype=WORD_DTYPE)
         self._brk = 0
+        #: words visible to device code; system allocations live above this
+        self._user_capacity = capacity_words
         self.words_per_segment = words_per_segment
         self.stats = MemoryStats()
         #: when False, counted accessors skip all accounting (fast path for
@@ -46,7 +48,18 @@ class MemoryArena:
     # ------------------------------------------------------------------ #
     @property
     def capacity(self) -> int:
+        """Device-visible capacity; system (sanitizer) words are excluded."""
+        return self._user_capacity
+
+    @property
+    def total_words(self) -> int:
+        """Backing-array size including system allocations."""
         return int(self._data.size)
+
+    @property
+    def system_words(self) -> int:
+        """Words reserved by :meth:`alloc_system` (shadow memory etc.)."""
+        return int(self._data.size) - self._user_capacity
 
     @property
     def allocated(self) -> int:
@@ -65,7 +78,7 @@ class MemoryArena:
         base = self._brk
         if align > 1:
             base = (base + align - 1) // align * align
-        if base + nwords > self._data.size:
+        if base + nwords > self._user_capacity:
             raise MemoryError_(
                 f"arena exhausted: need {nwords} words at {base} "
                 f"({self.allocated} of {self.capacity} words already allocated)"
@@ -73,15 +86,40 @@ class MemoryArena:
         self._brk = base + nwords
         return base
 
+    def alloc_system(self, nwords: int) -> int:
+        """Reserve ``nwords`` *system* words above the device heap.
+
+        System allocations (sanitizer shadow memory) grow the backing array
+        instead of consuming device capacity, so enabling analysis tooling
+        never changes :meth:`alloc` exhaustion behaviour. Accesses to system
+        addresses are excluded from the counted statistics — golden figures
+        are identical with and without a sanitizer attached.
+
+        Growing reallocates the backing array: long-lived views obtained via
+        :meth:`host_view` before the call go stale (``self.data`` stays
+        correct — it re-reads the current array). Attach sanitizers right
+        after construction, before handing out views.
+        """
+        if nwords < 0:
+            raise MemoryError_(f"cannot allocate {nwords} system words")
+        base = int(self._data.size)
+        self._data = np.concatenate(
+            [self._data, np.zeros(nwords, dtype=WORD_DTYPE)]
+        )
+        return base
+
     def reset(self) -> None:
         """Return the arena to its freshly-constructed state.
 
-        Rewinds the bump pointer, zeroes the backing words, and clears the
-        access statistics — cheaper than reallocating a new arena when a
-        caller (tests, shard re-use) wants a pristine device memory of the
-        same capacity.
+        Rewinds the bump pointer, zeroes the backing words, drops any system
+        (sanitizer) allocations, and clears the access statistics — cheaper
+        than reallocating a new arena when a caller (tests, shard re-use)
+        wants a pristine device memory of the same capacity.
         """
-        self._data[:] = 0
+        if self._data.size != self._user_capacity:
+            self._data = np.zeros(self._user_capacity, dtype=WORD_DTYPE)
+        else:
+            self._data[:] = 0
         self._brk = 0
         self.stats.reset()
         self.counting = True
@@ -96,7 +134,7 @@ class MemoryArena:
     def read(self, addr: int, label: str | None = None) -> int:
         """Counted scalar load."""
         self._check(addr)
-        if self.counting:
+        if self.counting and addr < self._user_capacity:
             self.stats.reads += 1
             self.stats.read_words += 1
             self.stats.transactions += 1
@@ -107,7 +145,7 @@ class MemoryArena:
     def write(self, addr: int, value: int, label: str | None = None) -> None:
         """Counted scalar store."""
         self._check(addr)
-        if self.counting:
+        if self.counting and addr < self._user_capacity:
             self.stats.writes += 1
             self.stats.write_words += 1
             self.stats.transactions += 1
@@ -122,7 +160,7 @@ class MemoryArena:
         """Compare-and-swap; returns the *old* value (CUDA ``atomicCAS``)."""
         self._check(addr)
         old = int(self._data[addr])
-        if self.counting:
+        if self.counting and addr < self._user_capacity:
             self.stats.atomics += 1
             self.stats.transactions += 1
             if old != expected:
@@ -135,7 +173,7 @@ class MemoryArena:
         """Atomic fetch-and-add; returns the old value."""
         self._check(addr)
         old = int(self._data[addr])
-        if self.counting:
+        if self.counting and addr < self._user_capacity:
             self.stats.atomics += 1
             self.stats.transactions += 1
         self._data[addr] = old + delta
@@ -145,7 +183,7 @@ class MemoryArena:
         """Atomic exchange; returns the old value."""
         self._check(addr)
         old = int(self._data[addr])
-        if self.counting:
+        if self.counting and addr < self._user_capacity:
             self.stats.atomics += 1
             self.stats.transactions += 1
         self._data[addr] = value
@@ -163,7 +201,7 @@ class MemoryArena:
         addrs = np.asarray(addrs, dtype=np.int64)
         if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
             raise MemoryError_("gather address out of bounds")
-        if self.counting and addrs.size:
+        if self.counting and addrs.size and int(addrs.min()) < self._user_capacity:
             self.stats.reads += 1
             self.stats.read_words += int(addrs.size)
             self.stats.transactions += segments_touched_array(addrs, self.words_per_segment)
@@ -178,7 +216,7 @@ class MemoryArena:
         addrs = np.asarray(addrs, dtype=np.int64)
         if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
             raise MemoryError_("scatter address out of bounds")
-        if self.counting and addrs.size:
+        if self.counting and addrs.size and int(addrs.min()) < self._user_capacity:
             self.stats.writes += 1
             self.stats.write_words += int(addrs.size)
             self.stats.transactions += segments_touched_array(addrs, self.words_per_segment)

@@ -23,6 +23,14 @@ class KernelCounters:
     control_inst: int = 0
     alu_inst: int = 0
     atomic_inst: int = 0
+    #: ``mem_inst`` split by access kind — loads vs plain stores — and the
+    #: atomic-RMW transaction count, so profiles (Fig. 9) and the race
+    #: detector can tell an atomic apart from a plain store.
+    #: ``load_inst + store_inst == mem_inst`` and
+    #: ``atomic_transactions == atomic_inst`` always hold.
+    load_inst: int = 0
+    store_inst: int = 0
+    atomic_transactions: int = 0
     #: warp-level issue slots (timing), memory transactions (timing)
     issued_slots: int = 0
     transactions: int = 0
@@ -64,6 +72,11 @@ class KernelCounters:
         out.control_inst = self.control_inst + other.control_inst
         out.alu_inst = self.alu_inst + other.alu_inst
         out.atomic_inst = self.atomic_inst + other.atomic_inst
+        out.load_inst = self.load_inst + other.load_inst
+        out.store_inst = self.store_inst + other.store_inst
+        out.atomic_transactions = (
+            self.atomic_transactions + other.atomic_transactions
+        )
         out.issued_slots = self.issued_slots + other.issued_slots
         out.transactions = self.transactions + other.transactions
         out.atomic_conflicts = self.atomic_conflicts + other.atomic_conflicts

@@ -39,11 +39,15 @@ class KernelLaunch:
         arena: MemoryArena,
         n_requests: int,
         rng=None,
+        probe=None,
     ) -> None:
         self.device = device
         self.arena = arena
         self.counters = KernelCounters(n_requests=n_requests)
         self.rng = rng
+        #: analysis probe (race detector / hotspot profiler) observing every
+        #: executed op; ``None`` leaves execution bit-for-bit unchanged.
+        self.probe = probe
         self._warps: list[Warp] = []
         self._launched = False
 
@@ -54,6 +58,8 @@ class KernelLaunch:
         if self._launched:
             raise SimulationError("cannot add warps after launch")
         warp = Warp(programs, self.arena, self.device.warp_size)
+        warp.warp_id = len(self._warps)
+        warp.probe = self.probe
         self._warps.append(warp)
         return warp
 
@@ -73,6 +79,10 @@ class KernelLaunch:
         if self._launched:
             raise SimulationError("kernel already launched")
         self._launched = True
+        if self.probe is not None:
+            # kernel launches are global barriers: accesses in different
+            # launches are ordered and can never race
+            self.probe.begin_launch()
         dev = self.device
         n_sms = dev.num_sms
         sm_of = [i % n_sms for i in range(len(self._warps))]
@@ -98,6 +108,8 @@ class KernelLaunch:
                     still.append(wi)
             active = still
         counters.cycles = max(sm_cycles) if sm_cycles else 0.0
+        if self.probe is not None:
+            self.probe.end_launch(counters)
         return counters
 
     def lane_results(self) -> list[object]:

@@ -72,6 +72,12 @@ class Warp:
         #: warp-shared scratch (models shared memory, e.g. the §5 iteration
         #: warp buffer); populated by the kernel code that built this warp.
         self.shared: dict = {}
+        #: analysis probe (race detector / hotspot profiler); set by the
+        #: launcher when the owning DeviceContext has one attached. ``None``
+        #: keeps the hot path identical to a probe-free build.
+        self.probe = None
+        #: grid-unique warp id assigned by the launcher (0 when standalone)
+        self.warp_id = 0
 
     def step(self, counters: KernelCounters, cycle: float) -> tuple[int, int, int]:
         """Advance every active lane one slot.
@@ -87,8 +93,11 @@ class Warp:
         transactions = 0
         atomic_conflicts = 0
         any_active = False
+        probe = self.probe
+        if probe is not None:
+            probe.begin_slot(self.warp_id)
 
-        for lane in self.lanes:
+        for lane_idx, lane in enumerate(self.lanes):
             if not lane.active:
                 continue
             try:
@@ -108,6 +117,7 @@ class Warp:
                 lane.send_value = int(data[addr])
                 load_addrs.append(addr)
                 counters.mem_inst += 1
+                counters.load_inst += 1
                 kinds |= 1
             elif t is Branch:
                 counters.control_inst += 1
@@ -122,6 +132,7 @@ class Warp:
                 data[addr] = op.value
                 store_addrs.append(addr)
                 counters.mem_inst += 1
+                counters.store_inst += 1
                 kinds |= 2
             elif t is AtomicCAS:
                 old = int(data[op.addr])
@@ -131,6 +142,7 @@ class Warp:
                     atomic_conflicts += 1
                 lane.send_value = old
                 counters.atomic_inst += 1
+                counters.atomic_transactions += 1
                 transactions += 1
                 kinds |= 4
             elif t is AtomicAdd:
@@ -138,6 +150,7 @@ class Warp:
                 data[op.addr] = old + op.delta
                 lane.send_value = old
                 counters.atomic_inst += 1
+                counters.atomic_transactions += 1
                 transactions += 1
                 kinds |= 4
             elif t is AtomicExch:
@@ -145,6 +158,7 @@ class Warp:
                 data[op.addr] = op.value
                 lane.send_value = old
                 counters.atomic_inst += 1
+                counters.atomic_transactions += 1
                 transactions += 1
                 kinds |= 4
             elif t is Mark:
@@ -158,6 +172,10 @@ class Warp:
                 lane.steps -= 1
             else:
                 raise SimulationError(f"unknown op {op!r}")
+            if probe is not None:
+                probe.observe(
+                    self.warp_id, lane_idx, op, lane.send_value, lane.gen
+                )
 
         if load_addrs:
             transactions += self._segments(load_addrs)

@@ -1,0 +1,20 @@
+"""Fixture: violates R3 — counted arena accessors inside device code."""
+
+from repro.simt.instructions import Branch, Store
+
+
+def d_counted_read(arena, addr):
+    value = arena.read(addr)  # R3: bypasses the Op stream
+    yield Branch()
+    return value
+
+
+def d_counted_write(tree, addr, value):
+    tree.arena.write(addr, value)  # R3: bypasses the Op stream
+    yield Store(addr, value)
+
+
+def d_host_plane_is_fine(tree, addr):
+    # reading the raw backing array to charge an equivalent Store is the
+    # documented host-mutation idiom: no finding
+    yield Store(addr, int(tree.arena.data[addr]))

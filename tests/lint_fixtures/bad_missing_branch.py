@@ -1,0 +1,34 @@
+"""Fixture: violates R4 — data-dependent control flow without Branch()."""
+
+from repro.simt.instructions import Branch, Load
+
+
+def d_if_without_branch(addr):
+    value = yield Load(addr)
+    if value > 0:  # R4: no Branch between the Load and the test
+        return 1
+    return 0
+
+
+def d_loop_without_branch(addr):
+    count = yield Load(addr)
+    total = 0
+    for _ in range(count):  # R4
+        total += 1
+    return total
+
+
+def d_derived_taint_without_branch(addr, fanout):
+    count = yield Load(addr)
+    will_split = count >= fanout  # taint propagates through the derivation
+    if will_split:  # R4
+        return 1
+    return 0
+
+
+def d_branch_satisfies_rule(addr):
+    value = yield Load(addr)
+    yield Branch()
+    if value > 0:  # fine: Branch intervenes
+        return 1
+    return 0

@@ -1,0 +1,9 @@
+"""Fixture: violates R1 — a device generator yielding a non-Op value."""
+
+
+def d_bad_yields_int(addr):
+    yield 42  # R1: not an Op constructor
+
+
+def d_bad_bare_yield(addr):
+    yield  # R1: bare yield

@@ -1,0 +1,16 @@
+"""Fixture: violates R2 — discarded Load / AtomicCAS results."""
+
+from repro.simt.instructions import AtomicAdd, AtomicCAS, Load
+
+
+def d_discards_load(addr):
+    yield Load(addr)  # R2: result never consumed
+
+
+def d_discards_cas(addr):
+    yield AtomicCAS(addr, 0, 1)  # R2: result never consumed
+
+
+def d_bare_atomic_add_is_fine(addr):
+    # AtomicAdd for its side effect is the version-bump idiom: no finding
+    yield AtomicAdd(addr, 1)
