@@ -1,0 +1,47 @@
+"""Interpreter speed — host wall-time of the SIMT slot loop, not a figure.
+
+Times ``process_batch`` for YCSB-A/B/C across all four systems under three
+execution modes (reference sequential interpreter, vectorized fast path,
+fast path + :class:`~repro.sharding.ParallelShardedSystem` workers) and
+writes ``benchmarks/results/BENCH_interp.json``. Every mode computes
+bit-identical counters — this file measures only how fast the simulator
+itself runs, so its numbers are machine-dependent and the golden-drift
+gate never looks at them.
+
+Assertions are the CI ``perf-smoke`` floor: the vectorized path must not be
+slower than the sequential one by more than noise (>= 1.5x on the headline
+Eirene YCSB-A row, >= 1.0x everywhere else).
+"""
+
+from repro.harness import ExperimentConfig, interp_speed
+
+SYSTEM_ROWS = ("nocc", "stm", "lock", "eirene")
+
+
+def test_interp_speed(benchmark, results_dir):
+    cfg = ExperimentConfig(
+        engine="simt", tree_size=2**12, batch_size=2**10, n_batches=2
+    )
+    fig = benchmark.pedantic(
+        lambda: interp_speed(cfg, repeats=3), rounds=1, iterations=1
+    )
+    fig.figure = "BENCH_interp"
+    text = fig.render()
+    print("\n" + text)
+    # written under the documented name (emit() would lowercase it)
+    (results_dir / "BENCH_interp.txt").write_text(text + "\n")
+    (results_dir / "BENCH_interp.json").write_text(fig.to_json(indent=2) + "\n")
+
+    for system in SYSTEM_ROWS:
+        for mix in ("YCSB-A", "YCSB-B", "YCSB-C"):
+            speedup = fig.value(f"{system} {mix}", "speedup")
+            # fast rows at this scale finish in ~0.1 s; allow scheduler noise
+            # but never a real regression
+            assert speedup >= 0.8, (
+                f"{system} {mix}: vectorized path slower than sequential "
+                f"({speedup:.2f}x)"
+            )
+    headline = fig.value("eirene YCSB-A", "speedup")
+    assert headline >= 1.5, (
+        f"eirene YCSB-A vectorized speedup {headline:.2f}x below the 1.5x floor"
+    )

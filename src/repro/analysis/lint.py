@@ -50,8 +50,11 @@ from pathlib import Path
 #: Op constructors a device program may yield (repro.simt.instructions)
 OP_NAMES = frozenset(
     {"Load", "Store", "AtomicCAS", "AtomicAdd", "AtomicExch",
-     "Alu", "Branch", "Mark", "Noop"}
+     "Alu", "Branch", "Mark", "Noop", "WaitGE"}
 )
+#: module-level op singletons device code may yield directly (hot paths
+#: avoid allocating the op per slot; see simt/instructions.py)
+OP_SINGLETONS = {"BRANCH": "Branch"}
 #: ops whose yielded result carries data (taint sources for R4)
 DATA_OPS = frozenset({"Load", "AtomicCAS", "AtomicAdd", "AtomicExch"})
 #: ops whose result must be consumed (R2)
@@ -93,10 +96,17 @@ def _walk_own(node: ast.AST):
 
 
 def _yield_op_name(node: ast.Yield) -> str | None:
-    """Op constructor name yielded by a ``yield Call(...)``, else None."""
+    """Op name yielded by ``yield Call(...)`` or an op singleton, else None.
+
+    Hot device code may yield a shared immutable instance (``yield BRANCH``)
+    instead of constructing the op per slot; the singleton names map to
+    their op class here.
+    """
     v = node.value
     if isinstance(v, ast.Call) and isinstance(v.func, ast.Name):
         return v.func.id
+    if isinstance(v, ast.Name):
+        return OP_SINGLETONS.get(v.id)
     return None
 
 

@@ -40,7 +40,7 @@ from ..core.pipeline import (
     WeightedResponsePass,
 )
 from ..locks import LatchTable
-from ..simt import Branch, Load, Mark
+from ..simt import BRANCH, Load, Mark
 from .base import System
 from .model import OVERLAP, EventTotals, writer_collision_groups
 
@@ -237,7 +237,7 @@ def _d_update_locked(tree: BPlusTree, latches: LatchTable, kind: int, key: int, 
         lock = tree.views.addrs(leaf).lock
         yield from latches.d_acquire(lock, owner)
         covers = yield from d_leaf_covers(tree, leaf, key)
-        yield Branch()
+        yield BRANCH
         if not covers:
             yield from latches.d_release(lock)
             continue  # a split moved the key range: retry descent
@@ -247,7 +247,7 @@ def _d_update_locked(tree: BPlusTree, latches: LatchTable, kind: int, key: int, 
             return old, steps
         old, needs_split = yield from d_leaf_upsert_device(tree, leaf, key, value)
         yield from latches.d_release(lock)
-        yield Branch()
+        yield BRANCH
         if not needs_split:
             return old, steps
         # split path: latch-crabbing descent holds every unsafe ancestor
@@ -270,13 +270,13 @@ def _d_range_scan_locked(tree: BPlusTree, latches: LatchTable, leaf: int, lo: in
                 continue
             ver = yield Load(a.version)
             cnt = yield Load(a.count)
-            yield Branch()
+            yield BRANCH
             tmp_k: list[int] = []
             tmp_v: list[int] = []
             done = False
             for slot in range(cnt):
                 k = yield Load(a.keys[slot])
-                yield Branch()
+                yield BRANCH
                 if k > hi:
                     done = True
                     break
@@ -286,7 +286,7 @@ def _d_range_scan_locked(tree: BPlusTree, latches: LatchTable, leaf: int, lo: in
                     tmp_v.append(int(v))
             nxt = yield Load(a.next_leaf)
             ver2 = yield Load(a.version)
-            yield Branch()
+            yield BRANCH
             if ver2 == ver:
                 ks.extend(tmp_k)
                 vs.extend(tmp_v)

@@ -37,7 +37,7 @@ from ..core.pipeline import (
     WeightedResponsePass,
 )
 from ..errors import SimulationError, TransactionAborted
-from ..simt import Branch, Mark
+from ..simt import BRANCH, Mark
 from ..stm import DeviceStm, StmRegion
 from .base import System
 from .model import OVERLAP, EventTotals, writer_collision_groups
@@ -162,7 +162,7 @@ class StmSimtKernelPass(Pass):
                             old, needs_split = yield from d_leaf_upsert_stm(
                                 tree, stm, tx, leaf, key, value
                             )
-                            yield Branch()
+                            yield BRANCH
                             if needs_split:
                                 yield from stm.d_abort(tx, counted=False)
                                 old = yield from d_smo_upsert(
@@ -263,11 +263,11 @@ def _d_range_scan_stm(tree: BPlusTree, stm: DeviceStm, tx, leaf: int, lo: int, h
     while True:
         a = tree.views.addrs(node)
         cnt = yield from stm.d_read(tx, a.count)
-        yield Branch()
+        yield BRANCH
         done = False
         for slot in range(cnt):
             k = yield from stm.d_read(tx, a.keys[slot])
-            yield Branch()
+            yield BRANCH
             if k > hi:
                 done = True
                 break
@@ -276,7 +276,7 @@ def _d_range_scan_stm(tree: BPlusTree, stm: DeviceStm, tx, leaf: int, lo: int, h
                 ks.append(int(k))
                 vs.append(int(v))
         nxt = yield from stm.d_read(tx, a.next_leaf)
-        yield Branch()
+        yield BRANCH
         if done or nxt == -1:
             return ks, vs
         node = nxt

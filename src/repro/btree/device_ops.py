@@ -27,7 +27,7 @@ from __future__ import annotations
 from .._types import EMPTY_KEY, NO_NODE, NULL_VALUE
 from ..errors import SimulationError, TransactionAborted
 from ..locks import LatchTable
-from ..simt.instructions import Alu, AtomicCAS, Branch, Load, Store
+from ..simt.instructions import BRANCH, Alu, AtomicCAS, Load, Store
 from ..stm import FREE, DeviceStm, Tx
 from .tree import BPlusTree
 
@@ -47,10 +47,12 @@ def d_child_slot(tree: BPlusTree, node: int, key: int):
     examined, with early exit, exactly like the branch-free GPU layout.
     """
     keys = tree.views.addrs(node).keys
+    base = keys.base
+    n = keys.width
     slot = 0
-    while slot < len(keys):
-        k = yield Load(keys[slot])
-        yield Branch()
+    while slot < n:
+        k = yield Load(base + slot)
+        yield BRANCH
         if key < k:
             break
         slot += 1
@@ -64,7 +66,7 @@ def d_find_leaf(tree: BPlusTree, key: int):
     while True:
         a = tree.views.addrs(node)
         is_leaf = yield Load(a.leaf)
-        yield Branch()
+        yield BRANCH
         if is_leaf:
             return node, steps
         slot = yield from d_child_slot(tree, node, key)
@@ -75,11 +77,13 @@ def d_find_leaf(tree: BPlusTree, key: int):
 def d_search_leaf(tree: BPlusTree, leaf: int, key: int):
     """Scan a leaf for ``key``; returns its value or ``NULL_VALUE``."""
     a = tree.views.addrs(leaf)
+    kbase = a.keys.base
+    vbase = a.values.base
     for slot in range(tree.layout.fanout):
-        k = yield Load(a.keys[slot])
-        yield Branch()
+        k = yield Load(kbase + slot)
+        yield BRANCH
         if k == key:
-            val = yield Load(a.values[slot])
+            val = yield Load(vbase + slot)
             return val
         if k > key:
             return NULL_VALUE
@@ -94,14 +98,14 @@ def d_leaf_covers(tree: BPlusTree, leaf: int, key: int):
     """
     a = tree.views.addrs(leaf)
     fence = yield Load(a.fence)
-    yield Branch()
+    yield BRANCH
     if key < fence:
         return False  # the reference points right of the key's range
     nxt = yield Load(a.next_leaf)
-    yield Branch()
+    yield BRANCH
     if nxt != NO_NODE:
         nxt_fence = yield Load(tree.views.addrs(nxt).fence)
-        yield Branch()
+        yield BRANCH
         if nxt_fence <= key:
             # a split moved this key's range to the right sibling
             return False
@@ -118,11 +122,11 @@ def d_walk_leaves(tree: BPlusTree, start_leaf: int, key: int):
         if steps > MAX_HORIZONTAL_STEPS:
             raise SimulationError("leaf chain walk did not terminate")
         nxt = yield Load(tree.views.addrs(node).next_leaf)
-        yield Branch()
+        yield BRANCH
         if nxt == NO_NODE:
             return node, steps
         nxt_fence = yield Load(tree.views.addrs(nxt).fence)
-        yield Branch()
+        yield BRANCH
         if nxt_fence > key:
             return node, steps
         node = nxt
@@ -134,10 +138,12 @@ def d_walk_leaves(tree: BPlusTree, start_leaf: int, key: int):
 # --------------------------------------------------------------------- #
 def d_child_slot_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, node: int, key: int):
     keys = tree.views.addrs(node).keys
+    base = keys.base
+    n = keys.width
     slot = 0
-    while slot < len(keys):
-        k = yield from stm.d_read(tx, keys[slot])
-        yield Branch()
+    while slot < n:
+        k = yield from stm.d_read(tx, base + slot)
+        yield BRANCH
         if key < k:
             break
         slot += 1
@@ -152,7 +158,7 @@ def d_find_leaf_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, key: int):
     while True:
         a = tree.views.addrs(node)
         is_leaf = yield from stm.d_read(tx, a.leaf)
-        yield Branch()
+        yield BRANCH
         if is_leaf:
             return node, steps
         slot = yield from d_child_slot_stm(tree, stm, tx, node, key)
@@ -164,7 +170,7 @@ def d_search_leaf_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: i
     a = tree.views.addrs(leaf)
     for slot in range(tree.layout.fanout):
         k = yield from stm.d_read(tx, a.keys[slot])
-        yield Branch()
+        yield BRANCH
         if k == key:
             val = yield from stm.d_read(tx, a.values[slot])
             return val
@@ -190,7 +196,7 @@ def d_leaf_upsert_stm(
     pos = 0
     while pos < cnt:
         k = yield from stm.d_read(tx, a.keys[pos])
-        yield Branch()
+        yield BRANCH
         if k == key:
             old = yield from stm.d_read(tx, a.values[pos])
             yield from stm.d_write(tx, a.values[pos], value)
@@ -198,7 +204,7 @@ def d_leaf_upsert_stm(
         if k > key:
             break
         pos += 1
-    yield Branch()
+    yield BRANCH
     if cnt >= tree.layout.fanout:
         return NULL_VALUE, True  # full leaf, absent key: needs a split
     # shift (cnt - pos) entries right, insert at pos
@@ -222,14 +228,14 @@ def d_leaf_delete_stm(tree: BPlusTree, stm: DeviceStm, tx: Tx, leaf: int, key: i
     old = NULL_VALUE
     for slot in range(cnt):
         k = yield from stm.d_read(tx, a.keys[slot])
-        yield Branch()
+        yield BRANCH
         if k == key:
             pos = slot
             old = yield from stm.d_read(tx, a.values[slot])
             break
         if k > key:
             return NULL_VALUE
-    yield Branch()
+    yield BRANCH
     if pos < 0:
         return NULL_VALUE
     for i in range(pos, cnt - 1):
@@ -292,7 +298,7 @@ def d_smo_upsert(
     # acquire the SMO latch (one CAS per slot until ours)
     while True:
         got = yield AtomicCAS(smo_lock_addr, FREE, owner + 1)
-        yield Branch()
+        yield BRANCH
         if got == FREE:
             break
     try:
@@ -310,7 +316,7 @@ def d_smo_upsert(
             for addr in node_word_addrs(tree, node):
                 while True:
                     got = yield AtomicCAS(region.owner_addr(addr), FREE, -(owner + 2))
-                    yield Branch()
+                    yield BRANCH
                     if got in (FREE, -(owner + 2)):
                         break
                 if addr not in owned_set:
@@ -352,11 +358,11 @@ def d_leaf_upsert_device(tree: BPlusTree, leaf: int, key: int, value: int):
     mutation when a split would be needed."""
     a = tree.views.addrs(leaf)
     cnt = yield Load(a.count)
-    yield Branch()
+    yield BRANCH
     pos = 0
     while pos < cnt:
         k = yield Load(a.keys[pos])
-        yield Branch()
+        yield BRANCH
         if k == key:
             old = yield Load(a.values[pos])
             yield Store(a.values[pos], value)
@@ -365,7 +371,7 @@ def d_leaf_upsert_device(tree: BPlusTree, leaf: int, key: int, value: int):
         if k > key:
             break
         pos += 1
-    yield Branch()
+    yield BRANCH
     if cnt >= tree.layout.fanout:
         return NULL_VALUE, True
     for i in range(cnt - 1, pos - 1, -1):
@@ -385,19 +391,19 @@ def d_leaf_delete_device(tree: BPlusTree, leaf: int, key: int):
     value or NULL_VALUE."""
     a = tree.views.addrs(leaf)
     cnt = yield Load(a.count)
-    yield Branch()
+    yield BRANCH
     pos = -1
     old = NULL_VALUE
     for slot in range(cnt):
         k = yield Load(a.keys[slot])
-        yield Branch()
+        yield BRANCH
         if k == key:
             pos = slot
             old = yield Load(a.values[slot])
             break
         if k > key:
             return NULL_VALUE
-    yield Branch()
+    yield BRANCH
     if pos < 0:
         return NULL_VALUE
     for i in range(pos, cnt - 1):
@@ -432,11 +438,11 @@ def d_node_scan_validated(tree: BPlusTree, latches: LatchTable, node: int, key: 
             break
     ver_before = yield Load(a.version)
     is_leaf = yield Load(a.leaf)
-    yield Branch()
+    yield BRANCH
     slot = yield from d_child_slot(tree, node, key)
     ver_after = yield Load(a.version)
     locked_after = yield from latches.d_is_locked(a.lock)
-    yield Branch()
+    yield BRANCH
     if ver_after != ver_before or locked_after:
         return -1, bool(is_leaf)
     return slot, bool(is_leaf)
@@ -451,7 +457,7 @@ def d_find_leaf_locked_query(tree: BPlusTree, latches: LatchTable, key: int):
         ok = True
         while True:
             slot, is_leaf = yield from d_node_scan_validated(tree, latches, node, key)
-            yield Branch()
+            yield BRANCH
             if slot < 0:
                 ok = False
                 break
@@ -477,14 +483,14 @@ def d_find_leaf_coupling(tree: BPlusTree, latches: LatchTable, key: int, owner: 
         held.append(node)
         steps += 1
         cnt = yield Load(a.count)
-        yield Branch()
+        yield BRANCH
         if cnt < tree.layout.fanout and len(held) > 1:
             # child is safe: release every ancestor latch
             for anc in held[:-1]:
                 yield from latches.d_release(views.addrs(anc).lock)
             held = held[-1:]
         is_leaf = yield Load(a.leaf)
-        yield Branch()
+        yield BRANCH
         if is_leaf:
             return node, steps, held
         slot = yield from d_child_slot(tree, node, key)
@@ -506,11 +512,11 @@ def d_leaf_upsert_locked(
     views = tree.views
     a = views.addrs(leaf)
     cnt = yield Load(a.count)
-    yield Branch()
+    yield BRANCH
     # scan for hit (update-in-place fast path)
     for slot in range(cnt):
         k = yield Load(a.keys[slot])
-        yield Branch()
+        yield BRANCH
         if k == key:
             old = yield Load(a.values[slot])
             yield Store(a.values[slot], value)
@@ -539,17 +545,17 @@ def d_leaf_delete_locked(
     """Merge-free delete under the leaf latch; returns the old value."""
     a = tree.views.addrs(leaf)
     cnt = yield Load(a.count)
-    yield Branch()
+    yield BRANCH
     found = False
     for slot in range(cnt):
         k = yield Load(a.keys[slot])
-        yield Branch()
+        yield BRANCH
         if k == key:
             found = True
             break
         if k > key:
             break
-    yield Branch()
+    yield BRANCH
     if not found:
         return NULL_VALUE
     old = tree.delete(key)

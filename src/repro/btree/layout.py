@@ -32,7 +32,7 @@ trick GPU B-trees use.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 OFF_COUNT = 0
 OFF_LEAF = 1
@@ -52,21 +52,22 @@ class NodeLayout:
     fanout: int
     base: int = 0
     words_per_segment: int = 16
+    #: derived constants, precomputed once (these sit on every hot address
+    #: computation in device code, so they are plain attributes, not
+    #: recomputed properties): ``payload_off`` — first payload word;
+    #: ``node_words`` — header + keys + children/values (fanout + 1 payload
+    #: slots); ``stride`` — node pitch in words, rounded up to a whole
+    #: number of segments.
+    payload_off: int = field(init=False, repr=False, compare=False)
+    node_words: int = field(init=False, repr=False, compare=False)
+    stride: int = field(init=False, repr=False, compare=False)
 
-    @property
-    def payload_off(self) -> int:
-        return OFF_KEYS + self.fanout
-
-    @property
-    def node_words(self) -> int:
-        # header + keys + children/values (fanout + 1 payload slots)
-        return HEADER_WORDS + self.fanout + self.fanout + 1
-
-    @property
-    def stride(self) -> int:
-        """Node pitch in words, rounded up to a whole number of segments."""
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__  # frozen dataclass
+        set_(self, "payload_off", OFF_KEYS + self.fanout)
+        set_(self, "node_words", HEADER_WORDS + self.fanout + self.fanout + 1)
         seg = self.words_per_segment
-        return (self.node_words + seg - 1) // seg * seg
+        set_(self, "stride", (self.node_words + seg - 1) // seg * seg)
 
     def node_base(self, node_id: int) -> int:
         return self.base + node_id * self.stride

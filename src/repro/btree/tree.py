@@ -61,12 +61,17 @@ class BPlusTree:
         self.height = 0  # number of node levels on a root->leaf path
         self._next_node = 0
         self.split_events: list[SplitEvent] = []
+        self._views: StructView | None = None
 
     @property
     def views(self) -> StructView:
-        # tracks ``self.arena`` rebinding (tests transplant trees between
-        # arenas); StructView construction is two attribute stores
-        return StructView(self.arena, self.layout)
+        # cached per arena binding; still tracks ``self.arena`` rebinding
+        # (tests transplant trees between arenas). Caching also keeps the
+        # StructView's NodeAddrs memo warm across traversal steps.
+        v = self._views
+        if v is None or v.arena is not self.arena:
+            v = self._views = StructView(self.arena, self.layout)
+        return v
 
     # ------------------------------------------------------------------ #
     # construction
@@ -236,6 +241,7 @@ class BPlusTree:
         vertical traversal instead."""
         if observed_steps <= self.height:
             return
+        self.arena.host_write_sync()
         views = self.views
         node = start_leaf
         for _ in range(self.height + 1):
@@ -293,6 +299,7 @@ class BPlusTree:
         """
         if not 0 <= key <= MAX_KEY:
             raise TreeError(f"key {key} out of range")
+        self.arena.host_write_sync()
         path = self._descend_path(key)
         leaf = path[-1][0]
         slot = self.leaf_slot(leaf, key)
@@ -306,6 +313,7 @@ class BPlusTree:
 
     def delete(self, key: int) -> int:
         """Remove ``key``; returns the old value or ``NULL_VALUE`` if absent."""
+        self.arena.host_write_sync()
         leaf, _ = self.find_leaf(key)
         slot = self.leaf_slot(leaf, key)
         if slot < 0:

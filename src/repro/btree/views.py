@@ -85,9 +85,10 @@ class ArrayAddrs:
         self.width = width
 
     def __getitem__(self, slot):
-        if isinstance(slot, slice):
+        try:  # int fast path (hot: one call per separator examined)
+            return self.base + slot
+        except TypeError:
             return np.arange(self.width, dtype=np.int64)[slot] + self.base
-        return self.base + slot
 
     def __len__(self) -> int:
         return self.width
@@ -98,25 +99,28 @@ class ArrayAddrs:
 
 
 class NodeAddrs:
-    """Address plane: every field of one node resolved to its word address."""
+    """Address plane: every field of one node resolved to its word address.
 
-    __slots__ = ("_base", "_layout")
+    Instances are immutable functions of ``(layout, node)`` and are memoized
+    by :meth:`StructView.addrs`, so ``keys``/``payload`` are built eagerly
+    once instead of per access.
+    """
+
+    __slots__ = ("_base", "_layout", "keys", "payload")
 
     def __init__(self, layout: NodeLayout, node: int) -> None:
-        self._base = layout.node_base(node)
+        base = layout.node_base(node)
+        self._base = base
         self._layout = layout
-
-    @property
-    def keys(self) -> ArrayAddrs:
-        return ArrayAddrs(self._base + OFF_KEYS, self._layout.fanout)
-
-    @property
-    def payload(self) -> ArrayAddrs:
-        return ArrayAddrs(self._base + self._layout.payload_off, self._layout.fanout + 1)
+        self.keys = ArrayAddrs(base + OFF_KEYS, layout.fanout)
+        self.payload = ArrayAddrs(base + layout.payload_off, layout.fanout + 1)
 
     # aliases matching what the payload means per node kind
-    children = payload
-    values = payload
+    @property
+    def children(self) -> ArrayAddrs:
+        return self.payload
+
+    values = children
 
     def words(self) -> range:
         """Every word address of the node (split plans own all of them)."""
@@ -262,10 +266,17 @@ class StructView:
     def __init__(self, arena: MemoryArena, layout: NodeLayout) -> None:
         self.arena = arena
         self.layout = layout
+        #: node id -> NodeAddrs; addresses are a pure function of
+        #: (layout, node), so sharing the objects is observation-free and
+        #: saves reconstructing them on every traversal step.
+        self._addr_cache: dict[int, NodeAddrs] = {}
 
     # per-node views ----------------------------------------------------
     def addrs(self, node: int) -> NodeAddrs:
-        return NodeAddrs(self.layout, node)
+        a = self._addr_cache.get(node)
+        if a is None:
+            a = self._addr_cache[node] = NodeAddrs(self.layout, node)
+        return a
 
     def node(self, node: int) -> NodeView:
         return NodeView(self.arena, self.layout, node)

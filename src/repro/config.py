@@ -8,6 +8,7 @@ failing deep inside a kernel.
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass
 
 from .errors import ConfigError
@@ -153,6 +154,84 @@ class EireneConfig:
     def replace(self, **kwargs: object) -> "EireneConfig":
         """Return a copy with the given fields replaced."""
         return dataclasses.replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """How the *simulator itself* executes — never what it computes.
+
+    Every flag here is observationally neutral: counters, arena contents,
+    lane results and timing-model outputs are bit-for-bit identical on every
+    setting. The flags only trade interpreter wall-clock time, so goldens
+    and figures can never depend on them.
+
+    ``REPRO_SLOW_PATH=1`` in the environment forces the reference
+    interpreter (``vectorize_slots=False``) regardless of programmatic
+    settings — the escape hatch for bisecting a suspected fast-path bug.
+    """
+
+    #: use the optimized :meth:`~repro.simt.Warp.step` path (batched
+    #: counter flushes, barrier-wait lane parking, bulk load execution).
+    #: Attaching an analysis probe always falls back to the reference
+    #: interpreter regardless of this flag.
+    vectorize_slots: bool = True
+    #: park lanes blocked on a :class:`~repro.simt.WaitGE` barrier instead
+    #: of resuming their generator every slot (fast path only).
+    park_barrier_waits: bool = True
+    #: minimum pending loads in a slot before the fast path defers them
+    #: into one :meth:`~repro.memory.MemoryArena.gather`. Scalar fetches
+    #: win below ~48 addresses (numpy fancy-indexing overhead), so the
+    #: default disables deferral at the stock warp width of 32; tests set
+    #: it to 1 to exercise the bulk path.
+    gather_threshold: int = 48
+    #: worker processes for :class:`~repro.sharding.ParallelShardedSystem`
+    #: when the caller does not specify a count.
+    default_shard_workers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.gather_threshold < 1:
+            raise ConfigError(
+                f"gather_threshold must be >= 1, got {self.gather_threshold}"
+            )
+        if self.default_shard_workers < 1:
+            raise ConfigError(
+                f"default_shard_workers must be >= 1, got {self.default_shard_workers}"
+            )
+
+    def replace(self, **kwargs: object) -> "ExecutionConfig":
+        return dataclasses.replace(self, **kwargs)
+
+
+def _execution_config_from_env() -> ExecutionConfig:
+    if os.environ.get("REPRO_SLOW_PATH", "") == "1":
+        return ExecutionConfig(vectorize_slots=False, park_barrier_waits=False)
+    return ExecutionConfig()
+
+
+_execution: ExecutionConfig | None = None
+
+
+def execution_config() -> ExecutionConfig:
+    """The process-wide :class:`ExecutionConfig` (lazily env-initialized)."""
+    global _execution
+    if _execution is None:
+        _execution = _execution_config_from_env()
+    return _execution
+
+
+def set_execution_config(cfg: ExecutionConfig | None) -> ExecutionConfig:
+    """Install ``cfg`` process-wide; ``None`` re-reads the environment.
+
+    Returns the previous configuration so tests can restore it. The
+    ``REPRO_SLOW_PATH=1`` escape hatch wins even over programmatic
+    settings — when set, ``vectorize_slots`` is forced off.
+    """
+    global _execution
+    previous = execution_config()
+    if cfg is not None and os.environ.get("REPRO_SLOW_PATH", "") == "1":
+        cfg = cfg.replace(vectorize_slots=False, park_barrier_waits=False)
+    _execution = cfg if cfg is not None else _execution_config_from_env()
+    return previous
 
 
 #: Configuration matching the paper's "+ Combining" ablation bar (Fig. 11):

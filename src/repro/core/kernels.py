@@ -38,7 +38,7 @@ from ..btree.device_ops import (
 )
 from ..btree.tree import BPlusTree
 from ..errors import SimulationError, TransactionAborted
-from ..simt import Branch, Load, Mark, Noop
+from ..simt import BRANCH, Load, Mark, WaitGE
 from ..stm import DeviceStm
 
 MAX_RETRIES = 10_000
@@ -65,11 +65,11 @@ def d_range_raw(tree: BPlusTree, lo: int, hi: int):
     while True:
         a = tree.views.addrs(node)
         cnt = yield Load(a.count)
-        yield Branch()
+        yield BRANCH
         done = False
         for slot in range(cnt):
             k = yield Load(a.keys[slot])
-            yield Branch()
+            yield BRANCH
             if k > hi:
                 done = True
                 break
@@ -78,7 +78,7 @@ def d_range_raw(tree: BPlusTree, lo: int, hi: int):
                 ks.append(int(k))
                 vs.append(int(v))
         nxt = yield Load(a.next_leaf)
-        yield Branch()
+        yield BRANCH
         if done or nxt == -1:
             return ks, vs, steps
         node = nxt
@@ -109,7 +109,7 @@ def d_protected_query(tree: BPlusTree, stm: DeviceStm, key: int, leaf_hint: int 
         tx = stm.begin()
         try:
             covers = yield from d_leaf_covers(tree, leaf, key)
-            yield Branch()
+            yield BRANCH
             if not covers:
                 # a completed split moved the key range: not a data conflict
                 yield from stm.d_abort(tx, counted=False)
@@ -152,7 +152,7 @@ def _d_attempt_leaf_op(
     tx = stm.begin()
     cur_vers = yield from stm.d_read(tx, tree.views.addrs(leaf).version)
     covers = yield from d_leaf_covers(tree, leaf, key)
-    yield Branch()
+    yield BRANCH
     if cur_vers != leafvers or not covers:
         yield from stm.d_abort(tx)  # counted: a structure conflict
         raise TransactionAborted("leaf validation failed")
@@ -161,7 +161,7 @@ def _d_attempt_leaf_op(
         yield from stm.d_commit(tx)
         return old
     old, needs_split = yield from d_leaf_upsert_stm(tree, stm, tx, leaf, key, value)
-    yield Branch()
+    yield BRANCH
     if needs_split:
         yield from stm.d_abort(tx, counted=False)
         old = yield from d_smo_upsert(tree, stm, smo_lock_addr, req_id, key, value)
@@ -305,9 +305,10 @@ def make_iteration_lane_program(
                     shared["rf"][it] = rf
                 yield Mark(slot.req_id)
             # barrier: wait for every lane to finish this iteration
-            shared["arrived"][it] += 1
-            while shared["arrived"][it] < n_lanes:
-                yield Noop()
+            arrived = shared["arrived"]
+            arrived[it] += 1
+            while arrived[it] < n_lanes:
+                yield WaitGE(arrived, it, n_lanes)
         return None
 
     return program()

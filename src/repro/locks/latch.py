@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..errors import LockError
 from ..memory import MemoryArena
-from ..simt.instructions import AtomicCAS, Branch, Load, Store
+from ..simt.instructions import BRANCH, AtomicCAS, Load, Store
 
 FREE = 0
 
@@ -77,7 +77,7 @@ class LatchTable:
         spins = 0
         while True:
             old = yield AtomicCAS(lock_addr, FREE, owner + 1)
-            yield Branch()
+            yield BRANCH
             if old == FREE:
                 self.stats.acquires += 1
                 return spins
@@ -91,5 +91,5 @@ class LatchTable:
     def d_is_locked(self, lock_addr: int):
         """Read the lock word (lock-free readers check this per node)."""
         val = yield Load(lock_addr)
-        yield Branch()
+        yield BRANCH
         return val != FREE

@@ -38,10 +38,23 @@ class MemoryArena:
         #: words visible to device code; system allocations live above this
         self._user_capacity = capacity_words
         self.words_per_segment = words_per_segment
-        self.stats = MemoryStats()
+        self._stats = MemoryStats()
+        #: per-label access counts accumulated in a plain dict and folded
+        #: into ``_stats.by_label`` only when :attr:`stats` is observed —
+        #: one dict bump per counted access instead of a MemoryStats method
+        #: call (measurable on kernels issuing millions of labelled
+        #: accesses; totals are identical at every observation point).
+        self._pending_labels: dict = {}
         #: when False, counted accessors skip all accounting (fast path for
         #: functional runs where only results matter).
         self.counting = True
+        #: fast-path hook (see Warp._step_fast): while a warp slot has
+        #: deferred loads in flight, this holds a callable that flushes
+        #: them. Host-plane helpers that mutate device-visible words during
+        #: a kernel (tree splits, RF updates, STM invalidation) must call
+        #: :meth:`host_write_sync` first so no deferred load can observe
+        #: their writes out of program order.
+        self._host_barrier = None
 
     # ------------------------------------------------------------------ #
     # allocation
@@ -121,8 +134,41 @@ class MemoryArena:
         else:
             self._data[:] = 0
         self._brk = 0
-        self.stats.reset()
+        self._pending_labels.clear()
+        self._stats.reset()
         self.counting = True
+        self._host_barrier = None
+
+    # ------------------------------------------------------------------ #
+    # statistics (lazy per-label flush)
+    # ------------------------------------------------------------------ #
+    @property
+    def stats(self) -> MemoryStats:
+        """Access counters; folds any pending per-label counts in first."""
+        pending = self._pending_labels
+        if pending:
+            add_label = self._stats.add_label
+            for label, count in pending.items():
+                add_label(label, count)
+            pending.clear()
+        return self._stats
+
+    @stats.setter
+    def stats(self, value: MemoryStats) -> None:
+        self._pending_labels.clear()
+        self._stats = value
+
+    def host_write_sync(self) -> None:
+        """Order a host-plane write after any in-flight deferred loads.
+
+        Host helpers that mutate device-visible words *while a kernel is
+        executing* (split application, RF maintenance, STM invalidation)
+        call this first; it is a no-op unless the fast warp interpreter has
+        loads deferred in the current slot.
+        """
+        barrier = self._host_barrier
+        if barrier is not None:
+            barrier()
 
     # ------------------------------------------------------------------ #
     # counted scalar accesses
@@ -135,22 +181,26 @@ class MemoryArena:
         """Counted scalar load."""
         self._check(addr)
         if self.counting and addr < self._user_capacity:
-            self.stats.reads += 1
-            self.stats.read_words += 1
-            self.stats.transactions += 1
+            stats = self._stats
+            stats.reads += 1
+            stats.read_words += 1
+            stats.transactions += 1
             if label:
-                self.stats.add_label(label)
+                pending = self._pending_labels
+                pending[label] = pending.get(label, 0) + 1
         return int(self._data[addr])
 
     def write(self, addr: int, value: int, label: str | None = None) -> None:
         """Counted scalar store."""
         self._check(addr)
         if self.counting and addr < self._user_capacity:
-            self.stats.writes += 1
-            self.stats.write_words += 1
-            self.stats.transactions += 1
+            stats = self._stats
+            stats.writes += 1
+            stats.write_words += 1
+            stats.transactions += 1
             if label:
-                self.stats.add_label(label)
+                pending = self._pending_labels
+                pending[label] = pending.get(label, 0) + 1
         self._data[addr] = value
 
     # ------------------------------------------------------------------ #
@@ -161,10 +211,11 @@ class MemoryArena:
         self._check(addr)
         old = int(self._data[addr])
         if self.counting and addr < self._user_capacity:
-            self.stats.atomics += 1
-            self.stats.transactions += 1
+            stats = self._stats
+            stats.atomics += 1
+            stats.transactions += 1
             if old != expected:
-                self.stats.atomic_conflicts += 1
+                stats.atomic_conflicts += 1
         if old == expected:
             self._data[addr] = desired
         return old
@@ -174,8 +225,9 @@ class MemoryArena:
         self._check(addr)
         old = int(self._data[addr])
         if self.counting and addr < self._user_capacity:
-            self.stats.atomics += 1
-            self.stats.transactions += 1
+            stats = self._stats
+            stats.atomics += 1
+            stats.transactions += 1
         self._data[addr] = old + delta
         return old
 
@@ -184,8 +236,9 @@ class MemoryArena:
         self._check(addr)
         old = int(self._data[addr])
         if self.counting and addr < self._user_capacity:
-            self.stats.atomics += 1
-            self.stats.transactions += 1
+            stats = self._stats
+            stats.atomics += 1
+            stats.transactions += 1
         self._data[addr] = value
         return old
 
@@ -202,11 +255,13 @@ class MemoryArena:
         if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
             raise MemoryError_("gather address out of bounds")
         if self.counting and addrs.size and int(addrs.min()) < self._user_capacity:
-            self.stats.reads += 1
-            self.stats.read_words += int(addrs.size)
-            self.stats.transactions += segments_touched_array(addrs, self.words_per_segment)
+            stats = self._stats
+            stats.reads += 1
+            stats.read_words += int(addrs.size)
+            stats.transactions += segments_touched_array(addrs, self.words_per_segment)
             if label:
-                self.stats.add_label(label)
+                pending = self._pending_labels
+                pending[label] = pending.get(label, 0) + 1
         return self._data[addrs]
 
     def write_scatter(
@@ -217,11 +272,69 @@ class MemoryArena:
         if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
             raise MemoryError_("scatter address out of bounds")
         if self.counting and addrs.size and int(addrs.min()) < self._user_capacity:
-            self.stats.writes += 1
-            self.stats.write_words += int(addrs.size)
-            self.stats.transactions += segments_touched_array(addrs, self.words_per_segment)
+            stats = self._stats
+            stats.writes += 1
+            stats.write_words += int(addrs.size)
+            stats.transactions += segments_touched_array(addrs, self.words_per_segment)
             if label:
-                self.stats.add_label(label)
+                pending = self._pending_labels
+                pending[label] = pending.get(label, 0) + 1
+        self._data[addrs] = values
+
+    # ------------------------------------------------------------------ #
+    # bulk accesses (fast warp interpreter / batched host tooling)
+    # ------------------------------------------------------------------ #
+    def gather(self, addrs, label: str | None = None, *, counted: bool = False) -> np.ndarray:
+        """Bulk load of ``addrs`` (any int sequence) in one numpy gather.
+
+        With ``counted=False`` (default) this is the *device raw plane*
+        used by the fast warp interpreter: the SIMT executor charges its
+        own :class:`~repro.simt.KernelCounters`, exactly as its scalar
+        reference path reads ``self.data`` directly, so nothing is charged
+        here. With ``counted=True`` it charges :attr:`stats` identically
+        to ``len(addrs)`` scalar :meth:`read` calls (same reads / words /
+        transactions / label totals), letting batched host tooling keep
+        scalar-equivalent accounting.
+        """
+        addrs = np.asarray(addrs, dtype=np.intp)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
+            raise MemoryError_("gather address out of bounds")
+        if counted and self.counting and addrs.size:
+            n = int((addrs < self._user_capacity).sum())
+            if n:
+                stats = self._stats
+                stats.reads += n
+                stats.read_words += n
+                stats.transactions += n
+                if label:
+                    pending = self._pending_labels
+                    pending[label] = pending.get(label, 0) + n
+        return self._data[addrs]
+
+    def scatter(
+        self, addrs, values, label: str | None = None, *, counted: bool = False
+    ) -> None:
+        """Bulk store of ``values`` to ``addrs`` in one numpy scatter.
+
+        Mirror of :meth:`gather`: uncounted by default (device raw plane),
+        or charged identically to ``len(addrs)`` scalar :meth:`write`
+        calls with ``counted=True``. Duplicate addresses follow numpy
+        fancy-assignment semantics (last write wins), matching a
+        sequential loop of scalar writes.
+        """
+        addrs = np.asarray(addrs, dtype=np.intp)
+        if addrs.size and (addrs.min() < 0 or addrs.max() >= self._data.size):
+            raise MemoryError_("scatter address out of bounds")
+        if counted and self.counting and addrs.size:
+            n = int((addrs < self._user_capacity).sum())
+            if n:
+                stats = self._stats
+                stats.writes += n
+                stats.write_words += n
+                stats.transactions += n
+                if label:
+                    pending = self._pending_labels
+                    pending[label] = pending.get(label, 0) + n
         self._data[addrs] = values
 
     # ------------------------------------------------------------------ #

@@ -10,10 +10,12 @@ per-shard traces back into one :class:`~repro.baselines.base.BatchOutcome`.
 """
 
 from .merge import merge_shard_outcomes
+from .parallel import ParallelShardedSystem
 from .router import RoutedSubBatch, ShardPlan, ShardRouter
 from .system import ShardedSystem
 
 __all__ = [
+    "ParallelShardedSystem",
     "RoutedSubBatch",
     "ShardPlan",
     "ShardRouter",

@@ -2,6 +2,7 @@
 
 from .counters import KernelCounters
 from .instructions import (
+    BRANCH,
     Alu,
     AtomicAdd,
     AtomicCAS,
@@ -12,6 +13,7 @@ from .instructions import (
     Noop,
     Op,
     Store,
+    WaitGE,
     op_kind,
 )
 from .launcher import KernelLaunch
@@ -19,6 +21,7 @@ from .timing import CostModel, PhaseTime
 from .warp import Lane, Warp, run_subroutine
 
 __all__ = [
+    "BRANCH",
     "Alu",
     "AtomicAdd",
     "AtomicCAS",
@@ -34,6 +37,7 @@ __all__ = [
     "Op",
     "PhaseTime",
     "Store",
+    "WaitGE",
     "Warp",
     "op_kind",
     "run_subroutine",

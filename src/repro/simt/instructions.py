@@ -102,6 +102,13 @@ class Branch(Op):
         self.taken = taken
 
 
+#: shared default-branch instance. Ops are immutable once yielded and both
+#: executors (and all probes) dispatch on ``type(op)`` alone, so device code
+#: on a hot path may ``yield BRANCH`` instead of allocating ``Branch()``
+#: per control-flow slot.
+BRANCH = Branch()
+
+
 class Noop(Op):
     """Zero-cost wait slot (models a lane parked at a warp-level barrier).
 
@@ -110,6 +117,39 @@ class Noop(Op):
     """
 
     __slots__ = ()
+
+
+class WaitGE(Op):
+    """Barrier wait slot: park until ``seq[idx] >= target``.
+
+    Semantically identical to :class:`Noop` — a zero-cost predicated-off
+    slot charged nothing — but it *names the wake condition*, so the fast
+    executor can park the lane and skip resuming its generator until the
+    condition holds instead of re-entering the spin loop every slot. The
+    reference interpreter treats it exactly like ``Noop``; programs keep
+    their own ``while`` re-check around the yield, so the condition here is
+    a scheduling hint, never a source of truth.
+
+    ``seq`` is any indexable shared object (e.g. the iteration warp's
+    ``shared["arrived"]`` list) whose ``seq[idx]`` is monotonically
+    non-decreasing while any lane waits on it.
+
+    Contract (what the parking fast path relies on): *mid-slot* wakes are
+    only guaranteed when ``seq[idx]`` is advanced by a lane of the **same
+    warp** during the current lockstep slot — the executor re-checks parked
+    groups after each same-warp resumption and at every slot boundary.
+    Advancement from outside the warp (host code, another warp) is
+    observed at the next slot boundary, one slot later at most. Warp-local
+    barriers (the only current use) arrive strictly through same-warp
+    lanes, so both paths wake waiters in the identical slot.
+    """
+
+    __slots__ = ("seq", "idx", "target")
+
+    def __init__(self, seq, idx: int, target: int) -> None:
+        self.seq = seq
+        self.idx = idx
+        self.target = target
 
 
 class Mark(Op):
@@ -138,6 +178,7 @@ _KIND = {
     Branch: 4,
     Mark: 5,
     Noop: 6,
+    WaitGE: 6,
 }
 
 

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Generator
 
-from ..config import DeviceConfig
+from ..config import DeviceConfig, ExecutionConfig
 from ..errors import SimulationError
 from ..memory import MemoryArena
 from .counters import KernelCounters
@@ -40,6 +40,7 @@ class KernelLaunch:
         n_requests: int,
         rng=None,
         probe=None,
+        execution: ExecutionConfig | None = None,
     ) -> None:
         self.device = device
         self.arena = arena
@@ -48,6 +49,9 @@ class KernelLaunch:
         #: analysis probe (race detector / hotspot profiler) observing every
         #: executed op; ``None`` leaves execution bit-for-bit unchanged.
         self.probe = probe
+        #: interpreter selection for this grid's warps; ``None`` defers to
+        #: the process-wide :func:`repro.config.execution_config`.
+        self.execution = execution
         self._warps: list[Warp] = []
         self._launched = False
 
@@ -57,7 +61,9 @@ class KernelLaunch:
         their shared buffer around the returned object)."""
         if self._launched:
             raise SimulationError("cannot add warps after launch")
-        warp = Warp(programs, self.arena, self.device.warp_size)
+        warp = Warp(
+            programs, self.arena, self.device.warp_size, execution=self.execution
+        )
         warp.warp_id = len(self._warps)
         warp.probe = self.probe
         self._warps.append(warp)
@@ -92,20 +98,23 @@ class KernelLaunch:
         cpm = dev.cycles_per_mem_transaction
         cpa = dev.cycles_per_atomic_conflict
 
-        active = list(range(len(self._warps)))
+        warps = self._warps
+        steps = [w.step for w in warps]
+        rng = self.rng
+        active = list(range(len(warps)))
         while active:
             still = []
-            if self.rng is not None and len(active) > 1:
-                order = [active[i] for i in self.rng.permutation(len(active))]
+            append = still.append
+            if rng is not None and len(active) > 1:
+                order = [active[i] for i in rng.permutation(len(active)).tolist()]
             else:
                 order = active
             for wi in order:
-                warp = self._warps[wi]
                 sm = sm_of[wi]
-                issue, trans, conflicts = warp.step(counters, sm_cycles[sm])
+                issue, trans, conflicts = steps[wi](counters, sm_cycles[sm])
                 sm_cycles[sm] += issue * cpi + trans * cpm + conflicts * cpa
-                if warp.active:
-                    still.append(wi)
+                if warps[wi].active:
+                    append(wi)
             active = still
         counters.cycles = max(sm_cycles) if sm_cycles else 0.0
         if self.probe is not None:

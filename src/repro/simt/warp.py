@@ -16,14 +16,33 @@ Atomics execute immediately in lane order (the sequential interpreter makes
 them trivially atomic); a CAS that observes a value different from
 ``expected`` counts as an atomic conflict, which the timing model surcharges
 — that is where lock contention and STM ownership churn show up in time.
+
+Two interpreter paths implement the identical semantics (see DESIGN.md §9):
+
+* the **reference path** (:meth:`Warp._step_slow`) resumes every active
+  lane every slot and updates counters per op — the original interpreter,
+  kept verbatim as the executable specification;
+* the **fast path** (:meth:`Warp._step_fast`) produces bit-for-bit the same
+  counters, memory contents and lane results, but parks lanes blocked on a
+  :class:`WaitGE` barrier (skipping their generators entirely), batches
+  counter updates into one flush per slot, drops retired lanes from the
+  iteration list, and can defer a slot's loads into one
+  :meth:`~repro.memory.MemoryArena.gather` (off by default at warp width
+  32, where scalar fetches measure faster).
+
+Attaching an analysis probe (race sanitizer, hotspot profiler) always
+selects the reference path, so probes observe every op exactly as before.
+``REPRO_SLOW_PATH=1`` (see :mod:`repro.config`) forces it globally.
 """
 
 from __future__ import annotations
 
 from collections.abc import Generator
+from operator import attrgetter
 
 import numpy as np
 
+from ..config import ExecutionConfig, execution_config
 from ..errors import SimulationError
 from ..memory import MemoryArena
 from .counters import KernelCounters
@@ -38,16 +57,29 @@ from .instructions import (
     Noop,
     Op,
     Store,
+    WaitGE,
 )
+
+#: popcount of the 6-bit op-kind bitmask (fast ``bin(kinds).count("1")``)
+_POPCOUNT = tuple(bin(i).count("1") for i in range(64))
+
+#: sort key re-establishing lane order when woken lanes rejoin the iteration
+_lane_pos = attrgetter("pos")
 
 
 class Lane:
     """One thread: a program generator plus its in-flight state."""
 
-    __slots__ = ("gen", "active", "send_value", "result", "steps", "mark_base")
+    __slots__ = (
+        "gen", "send", "active", "send_value", "result", "steps",
+        "mark_base", "pos", "wait",
+    )
 
-    def __init__(self, gen: Generator) -> None:
+    def __init__(self, gen: Generator, pos: int = 0) -> None:
         self.gen = gen
+        #: bound ``gen.send`` (resumed once per slot; avoids the per-slot
+        #: method lookup on the hot path)
+        self.send = gen.send
         self.active = True
         self.send_value: int | None = None
         self.result: object = None
@@ -55,17 +87,36 @@ class Lane:
         self.steps = 0
         #: slot count at the lane's previous Mark (per-request service delta)
         self.mark_base = 0
+        #: fixed index within the warp; orders lanes when the fast path
+        #: re-inserts woken lanes into the iteration
+        self.pos = pos
+        #: fast path: the barrier group this lane is parked on (see
+        #: :meth:`Warp._step_fast`), else None. Parked lanes are not resumed
+        #: until ``seq[idx] >= target`` holds at their turn in lane order.
+        self.wait: list | None = None
 
 
 class Warp:
     """A cohort of lanes executing in lockstep."""
 
-    def __init__(self, programs: list[Generator], arena: MemoryArena, warp_size: int = 32):
+    __slots__ = (
+        "lanes", "arena", "words_per_segment", "active", "shared", "probe",
+        "warp_id", "_fast", "_park", "_defer", "_awake", "_groups", "_hot",
+        "_live_stale",
+    )
+
+    def __init__(
+        self,
+        programs: list[Generator],
+        arena: MemoryArena,
+        warp_size: int = 32,
+        execution: ExecutionConfig | None = None,
+    ):
         if not programs:
             raise SimulationError("a warp needs at least one lane")
         if len(programs) > warp_size:
             raise SimulationError(f"warp overfull: {len(programs)} > {warp_size}")
-        self.lanes = [Lane(g) for g in programs]
+        self.lanes = [Lane(g, i) for i, g in enumerate(programs)]
         self.arena = arena
         self.words_per_segment = arena.words_per_segment
         self.active = True
@@ -78,6 +129,27 @@ class Warp:
         self.probe = None
         #: grid-unique warp id assigned by the launcher (0 when standalone)
         self.warp_id = 0
+        ex = execution if execution is not None else execution_config()
+        self._fast = ex.vectorize_slots
+        self._park = ex.park_barrier_waits
+        #: defer this slot's loads into one arena.gather? Static per warp:
+        #: profitable only when a slot can batch >= gather_threshold
+        #: addresses, which a narrower warp never reaches.
+        self._defer = len(self.lanes) >= ex.gather_threshold
+        #: lanes that are runnable (active and not parked), in lane order;
+        #: the fast path iterates only these, so retired lanes and lanes
+        #: parked at a barrier cost nothing per slot.
+        self._awake = list(self.lanes)
+        #: parked barrier groups ``[seq, idx, target, lanes]`` — one entry
+        #: per distinct WaitGE condition with at least one parked lane.
+        self._groups: list[list] = []
+        #: groups one arrival away from opening (``parked >= target - 1``);
+        #: only these can open mid-slot, so only these are re-checked after
+        #: each lane resumption (see the WaitGE contract in instructions.py).
+        self._hot: list[list] = []
+        #: set by the reference path: fast-path scheduling state is stale
+        #: and must be rebuilt (probe runs interleave the two paths).
+        self._live_stale = False
 
     def step(self, counters: KernelCounters, cycle: float) -> tuple[int, int, int]:
         """Advance every active lane one slot.
@@ -85,6 +157,14 @@ class Warp:
         Returns ``(issue_slots, transactions, atomic_conflicts)`` for the
         timing model. Marks the warp inactive when all lanes finished.
         """
+        if self.probe is not None or not self._fast:
+            return self._step_slow(counters, cycle)
+        return self._step_fast(counters, cycle)
+
+    # ------------------------------------------------------------------ #
+    # reference interpreter (the executable specification)
+    # ------------------------------------------------------------------ #
+    def _step_slow(self, counters: KernelCounters, cycle: float) -> tuple[int, int, int]:
         data = self.arena.data
         size = data.size
         load_addrs: list[int] = []
@@ -94,6 +174,7 @@ class Warp:
         atomic_conflicts = 0
         any_active = False
         probe = self.probe
+        self._live_stale = True
         if probe is not None:
             probe.begin_slot(self.warp_id)
 
@@ -166,7 +247,7 @@ class Warp:
                 counters.service_steps[op.request_id] = lane.steps - lane.mark_base
                 lane.mark_base = lane.steps
                 kinds |= 32
-            elif t is Noop:
+            elif t is Noop or t is WaitGE:
                 # barrier wait: costs nothing (predicated-off lane) and does
                 # not count toward the lane's per-request service time
                 lane.steps -= 1
@@ -190,6 +271,268 @@ class Warp:
         if not any_active:
             self.active = False
         return issue_slots, transactions, atomic_conflicts
+
+    # ------------------------------------------------------------------ #
+    # fast interpreter (identical observable behaviour)
+    # ------------------------------------------------------------------ #
+    def _step_fast(self, counters: KernelCounters, cycle: float) -> tuple[int, int, int]:
+        arena = self.arena
+        data = arena.data
+        item = data.item
+        size = data.size
+        park = self._park
+        wps = self.words_per_segment
+        groups = self._groups
+        if self._live_stale:
+            # the reference path ran in between (probe attached): dissolve
+            # all parking state — woken lanes just re-yield their WaitGE,
+            # which charges nothing, so spurious wakes are free
+            for ln in self.lanes:
+                ln.wait = None
+            groups.clear()
+            self._hot = []
+            self._awake = [ln for ln in self.lanes if ln.active]
+            self._live_stale = False
+        awake = self._awake
+        wake_next: list[Lane] = []
+        if groups:
+            # barriers satisfied between slots (host code or another warp
+            # advanced the sequence): wake at slot start, in lane order
+            for g in groups:
+                if g[0][g[1]] >= g[2]:
+                    self._open_groups(awake, 0, -1, wake_next)
+                    break
+        if not awake:
+            if not groups:
+                self.active = False
+            return 0, 0, 0
+        hot = self._hot
+        compact = False
+        load_addrs: list[int] = []
+        load_segs: set[int] = set()
+        store_segs: set[int] = set()
+        lseg_add = load_segs.add
+        sseg_add = store_segs.add
+        kinds = 0
+        n_load = n_store = n_branch = n_alu = 0
+        n_atomic = transactions = atomic_conflicts = 0
+
+        # Load deferral (only for warps wide enough that one bulk gather
+        # beats scalar fetches): queued loads are flushed before any op or
+        # host-plane helper can write device memory, so a deferred load can
+        # never observe a later lane's store. Host-side mutators signal via
+        # arena.host_write_sync() -> _host_barrier (see MemoryArena).
+        defer = self._defer
+        if defer:
+            pend_lanes: list[Lane] = []
+
+            def flush() -> None:
+                if not pend_lanes:
+                    return
+                base = len(load_addrs) - len(pend_lanes)
+                addrs = load_addrs[base:]
+                if len(addrs) >= 2:
+                    for ln, v in zip(pend_lanes, arena.gather(addrs).tolist()):
+                        ln.send_value = v
+                else:
+                    pend_lanes[0].send_value = item(addrs[0])
+                pend_lanes.clear()
+
+            arena._host_barrier = flush
+
+        try:
+            i = 0
+            n = len(awake)
+            while i < n:
+                lane = awake[i]
+                i += 1
+                try:
+                    op = lane.send(lane.send_value)
+                except StopIteration as stop:
+                    lane.active = False
+                    lane.result = stop.value
+                    compact = True
+                    if hot:
+                        # a lane may pass its last barrier and retire in one
+                        # resumption; its followers still wake this slot
+                        for g in hot:
+                            if g[0][g[1]] >= g[2]:
+                                self._open_groups(awake, i, lane.pos, wake_next)
+                                hot = self._hot
+                                n = len(awake)
+                                break
+                    continue
+                lane.steps += 1
+                t = type(op)
+                if t is Load:
+                    addr = op.addr
+                    if not 0 <= addr < size:
+                        raise SimulationError(f"load address {addr} out of bounds")
+                    n_load += 1
+                    kinds |= 1
+                    if defer:
+                        load_addrs.append(addr)
+                        pend_lanes.append(lane)
+                    else:
+                        lseg_add(addr // wps)
+                        lane.send_value = item(addr)
+                elif t is Branch:
+                    lane.send_value = None
+                    n_branch += 1
+                    kinds |= 16
+                elif t is Alu:
+                    lane.send_value = None
+                    n_alu += op.count
+                    kinds |= 8
+                elif t is Store:
+                    addr = op.addr
+                    if not 0 <= addr < size:
+                        raise SimulationError(f"store address {addr} out of bounds")
+                    if defer:
+                        flush()
+                    data[addr] = op.value
+                    sseg_add(addr // wps)
+                    lane.send_value = None
+                    n_store += 1
+                    kinds |= 2
+                elif t is AtomicCAS:
+                    if defer:
+                        flush()
+                    old = int(data[op.addr])
+                    if old == op.expected:
+                        data[op.addr] = op.desired
+                    else:
+                        atomic_conflicts += 1
+                    lane.send_value = old
+                    n_atomic += 1
+                    transactions += 1
+                    kinds |= 4
+                elif t is AtomicAdd:
+                    if defer:
+                        flush()
+                    old = int(data[op.addr])
+                    data[op.addr] = old + op.delta
+                    lane.send_value = old
+                    n_atomic += 1
+                    transactions += 1
+                    kinds |= 4
+                elif t is AtomicExch:
+                    if defer:
+                        flush()
+                    old = int(data[op.addr])
+                    data[op.addr] = op.value
+                    lane.send_value = old
+                    n_atomic += 1
+                    transactions += 1
+                    kinds |= 4
+                elif t is Mark:
+                    lane.send_value = None
+                    counters.finish_cycle[op.request_id] = cycle
+                    counters.service_steps[op.request_id] = lane.steps - lane.mark_base
+                    lane.mark_base = lane.steps
+                    kinds |= 32
+                elif t is WaitGE or t is Noop:
+                    lane.send_value = None
+                    lane.steps -= 1
+                    if park and t is WaitGE:
+                        seq = op.seq
+                        idx = op.idx
+                        tgt = op.target
+                        for g in groups:
+                            if g[0] is seq and g[1] == idx and g[2] == tgt:
+                                g[3].append(lane)
+                                break
+                        else:
+                            g = [seq, idx, tgt, [lane]]
+                            groups.append(g)
+                        lane.wait = g
+                        compact = True
+                        if len(g[3]) >= tgt - 1:
+                            hot = self._hot = [
+                                gg for gg in groups if len(gg[3]) >= gg[2] - 1
+                            ]
+                else:
+                    raise SimulationError(f"unknown op {op!r}")
+                if hot:
+                    # a barrier one arrival away may have been opened by the
+                    # lane we just ran: wake its followers at their turn
+                    for g in hot:
+                        if g[0][g[1]] >= g[2]:
+                            self._open_groups(awake, i, lane.pos, wake_next)
+                            hot = self._hot
+                            n = len(awake)
+                            break
+            if defer:
+                flush()
+        finally:
+            if defer:
+                arena._host_barrier = None
+
+        if n_load:
+            counters.load_inst += n_load
+            transactions += self._segments(load_addrs) if defer else len(load_segs)
+        if n_store:
+            counters.store_inst += n_store
+            transactions += len(store_segs)
+        if n_load or n_store:
+            counters.mem_inst += n_load + n_store
+        if n_branch:
+            counters.control_inst += n_branch
+        if n_alu:
+            counters.alu_inst += n_alu
+        if n_atomic:
+            counters.atomic_inst += n_atomic
+            counters.atomic_transactions += n_atomic
+        issue_slots = _POPCOUNT[kinds]
+        if issue_slots:
+            if issue_slots > 1:
+                counters.divergent_slots += issue_slots - 1
+            counters.issued_slots += issue_slots
+        if transactions:
+            counters.transactions += transactions
+        if atomic_conflicts:
+            counters.atomic_conflicts += atomic_conflicts
+        if compact or wake_next:
+            alive = [ln for ln in awake if ln.active and ln.wait is None]
+            if wake_next:
+                alive.extend(wake_next)
+                alive.sort(key=_lane_pos)
+            self._awake = alive
+            if not alive and not groups:
+                self.active = False
+        return issue_slots, transactions, atomic_conflicts
+
+    def _open_groups(self, awake: list, i: int, pos: int, wake_next: list) -> None:
+        """Wake every parked group whose barrier condition now holds.
+
+        Lanes positioned after ``pos`` rejoin *this* slot — spliced into the
+        remaining iteration in lane order — because the reference path would
+        visit them later in the same slot and see the condition satisfied.
+        Lanes at or before ``pos`` were already passed over this slot and
+        rejoin at the next one, again matching the reference schedule.
+        """
+        groups = self._groups
+        still: list[list] = []
+        late: list[Lane] = []
+        for g in groups:
+            if g[0][g[1]] >= g[2]:
+                for ln in g[3]:
+                    ln.wait = None
+                    if ln.pos > pos:
+                        late.append(ln)
+                    elif ln not in awake:
+                        # parked in an earlier slot: rejoins next slot. A
+                        # lane that parked *this* slot is still in ``awake``
+                        # and survives compaction by its cleared wait alone.
+                        wake_next.append(ln)
+            else:
+                still.append(g)
+        groups[:] = still
+        self._hot = [g for g in still if len(g[3]) >= g[2] - 1]
+        if late:
+            tail = awake[i:] + late
+            tail.sort(key=_lane_pos)
+            awake[i:] = tail
 
     def _segments(self, addrs: list[int]) -> int:
         wps = self.words_per_segment
@@ -232,4 +575,4 @@ def run_subroutine(gen: Generator, arena: MemoryArena) -> object:
             old = int(data[op.addr])
             data[op.addr] = op.value
             send = old
-        # Alu / Branch / Mark: no data effect
+        # Alu / Branch / Mark / Noop / WaitGE: no data effect

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from ..errors import TransactionAborted
 from ..memory import MemoryArena
-from ..simt.instructions import AtomicAdd, AtomicCAS, Branch, Load, Store
+from ..simt.instructions import BRANCH, AtomicAdd, AtomicCAS, Load, Store
 from .stats import StmStats
 from .tm import FREE, StmRegion, Tx
 
@@ -56,24 +56,26 @@ class DeviceStm:
             self.stats.conflicts_rw += 1
             yield from self.d_abort(tx, counted=False)
             raise TransactionAborted("injected failure")
-        owner = yield Load(self.region.owner_addr(addr))
-        yield Branch()
+        region = self.region
+        idx = region._index(addr)
+        owner = yield Load(region.owner_base + idx)
+        yield BRANCH
         if owner not in (FREE, tx.tid + 1):
             self.stats.conflicts_rw += 1
             yield from self.d_abort(tx, counted=False)
             raise TransactionAborted("read of word owned by another tx")
         if addr not in tx.writes and addr not in tx.read_versions:
-            ver = yield Load(self.region.version_addr(addr))
+            ver = yield Load(region.version_base + idx)
             tx.read_versions[addr] = ver
         value = yield Load(addr)
         return value
 
     def d_write(self, tx: Tx, addr: int, value: int):
         """Transactional store (generator): eager CAS acquire + undo log."""
-        yield Branch()
+        yield BRANCH
         if addr not in tx.writes:
             old_owner = yield AtomicCAS(self.region.owner_addr(addr), FREE, tx.tid + 1)
-            yield Branch()
+            yield BRANCH
             if old_owner not in (FREE, tx.tid + 1):
                 self.stats.conflicts_ww += 1
                 yield from self.d_abort(tx, counted=False)
@@ -85,16 +87,18 @@ class DeviceStm:
 
     def d_commit(self, tx: Tx):
         """Validate read versions, publish, release (generator)."""
+        region = self.region
         for addr, ver in tx.read_versions.items():
-            cur = yield Load(self.region.version_addr(addr))
-            yield Branch()
+            cur = yield Load(region.version_addr(addr))
+            yield BRANCH
             if cur != ver:
                 self.stats.conflicts_validation += 1
                 yield from self.d_abort(tx, counted=False)
                 raise TransactionAborted("read validation failed")
         for addr in tx.writes:
-            yield AtomicAdd(self.region.version_addr(addr), 1)
-            yield Store(self.region.owner_addr(addr), FREE)
+            idx = region._index(addr)
+            yield AtomicAdd(region.version_base + idx, 1)
+            yield Store(region.owner_base + idx, FREE)
         tx.active = False
         self.stats.commits += 1
 
@@ -121,6 +125,7 @@ class DeviceStm:
         transactions that read any of the modified words will fail commit
         validation, exactly as if the split's stores had been transactional.
         """
+        self.arena.host_write_sync()
         data = self.arena.data
         for addr in addrs:
             data[self.region.version_addr(addr)] += 1

@@ -1,0 +1,370 @@
+"""Equivalence tests for the vectorized warp interpreter and its satellites.
+
+The :class:`~repro.config.ExecutionConfig` contract says every flag is
+observationally neutral: counters, lane results, arena contents and QoS
+arrays are bit-for-bit identical on the reference path
+(``vectorize_slots=False``) and the fast path. These tests enforce that on
+
+* seeded random warp programs (loads/stores/atomics/ALU/branches/marks,
+  divergent lengths, early retirees),
+* iteration-warp style ``WaitGE`` barriers with uneven arrival (the only
+  construct the fast path *parks* on),
+* the bulk-load deferral path (``gather_threshold=1``) including host
+  mutation mid-kernel via a full Eirene batch,
+* whole-system batches for every system kind,
+
+plus the probe fallback rule (an attached probe must see every op, i.e.
+the reference path runs), the ``REPRO_SLOW_PATH=1`` escape hatch, the
+:class:`~repro.sharding.ParallelShardedSystem` worker-count invariance, and
+the arena's bulk/lazy accounting satellites.
+
+Random programs respect the ``WaitGE`` contract: the condition sequence is
+only ever advanced by same-warp lanes, and each waiting program keeps its
+own ``while`` re-check around the yield.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config import DeviceConfig, ExecutionConfig, execution_config, set_execution_config
+from repro.memory import MemoryArena
+from repro.sharding import ParallelShardedSystem, ShardedSystem
+from repro.simt import (
+    Alu,
+    AtomicAdd,
+    AtomicCAS,
+    AtomicExch,
+    Branch,
+    KernelLaunch,
+    Load,
+    Mark,
+    Noop,
+    Store,
+    WaitGE,
+)
+
+SEQUENTIAL = ExecutionConfig(vectorize_slots=False, park_barrier_waits=False)
+
+
+@pytest.fixture(autouse=True)
+def _restore_execution():
+    previous = execution_config()
+    yield
+    set_execution_config(previous)
+
+
+def deep_eq(a, b) -> bool:
+    """Field-wise equality that tolerates numpy members; skips host
+    wall-clock stamps (``wall_s``), the only legitimately run-varying field."""
+    if dataclasses.is_dataclass(a) and not isinstance(a, type):
+        return type(a) is type(b) and all(
+            f.name == "wall_s" or deep_eq(getattr(a, f.name), getattr(b, f.name))
+            for f in dataclasses.fields(a)
+        )
+    if isinstance(a, np.ndarray):
+        return np.array_equal(a, b, equal_nan=(a.dtype.kind == "f"))
+    if isinstance(a, dict):
+        return set(a) == set(b) and all(deep_eq(a[k], b[k]) for k in a)
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(deep_eq(x, y) for x, y in zip(a, b))
+    return bool(a == b)
+
+
+# --------------------------------------------------------------------- #
+# random warp programs
+# --------------------------------------------------------------------- #
+DATA_WORDS = 192
+HOT_WORDS = 4  # tiny shared region so atomics actually conflict
+
+
+def random_program(rng: np.random.Generator, lane: int, n_lanes: int):
+    """One seeded lane program over a mixed op stream.
+
+    Lane length varies (divergence + early retirement); values derived
+    from loads feed later stores so deferred-load results are observable.
+    """
+    n_ops = int(rng.integers(4, 40))
+    kinds = rng.integers(0, 8, size=n_ops)
+    addrs = rng.integers(0, DATA_WORDS, size=n_ops)
+
+    def prog():
+        acc = lane
+        for k, a in zip(kinds.tolist(), addrs.tolist()):
+            if k == 0 or k == 1:
+                acc ^= (yield Load(a))
+            elif k == 2:
+                yield Store(a, (acc + lane) % 1000)
+            elif k == 3:
+                yield Alu(1 + (a % 3))
+            elif k == 4:
+                yield Branch()
+            elif k == 5:
+                acc += yield AtomicAdd(DATA_WORDS + (a % HOT_WORDS), 1)
+            elif k == 6:
+                acc ^= (yield AtomicCAS(DATA_WORDS + (a % HOT_WORDS), acc % 7, lane))
+            else:
+                yield Noop()
+        yield Mark(lane)
+        return acc
+
+    return prog()
+
+
+def run_warp(programs_fn, execution: ExecutionConfig, n_lanes: int = 8, probe=None):
+    """Run one warp of fresh programs; return (counters, results, memory)."""
+    arena = MemoryArena(DATA_WORDS + HOT_WORDS + 16)
+    arena.data[:DATA_WORDS] = np.arange(DATA_WORDS)
+    device = DeviceConfig(num_sms=2)
+    launch = KernelLaunch(
+        device, arena, n_lanes, probe=probe, execution=execution
+    )
+    launch.add_warp(programs_fn(n_lanes))
+    counters = launch.run()
+    return counters, launch.lane_results(), arena.data.copy()
+
+
+def assert_equivalent(programs_fn, fast: ExecutionConfig, n_lanes: int = 8):
+    ref = run_warp(programs_fn, SEQUENTIAL, n_lanes)
+    opt = run_warp(programs_fn, fast, n_lanes)
+    assert deep_eq(ref[0], opt[0]), "KernelCounters diverged"
+    assert ref[1] == opt[1], "lane results diverged"
+    assert np.array_equal(ref[2], opt[2]), "arena contents diverged"
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_random_programs_equivalent(seed):
+    def make(n_lanes):
+        rng = np.random.default_rng((777, seed))
+        return [random_program(rng, i, n_lanes) for i in range(n_lanes)]
+
+    assert_equivalent(make, ExecutionConfig())
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_random_programs_equivalent_with_gather(seed):
+    """gather_threshold=1 exercises the deferred bulk-load plane."""
+
+    def make(n_lanes):
+        rng = np.random.default_rng((888, seed))
+        return [random_program(rng, i, n_lanes) for i in range(n_lanes)]
+
+    assert_equivalent(make, ExecutionConfig(gather_threshold=1))
+
+
+# --------------------------------------------------------------------- #
+# WaitGE barriers (the parked-lane machinery)
+# --------------------------------------------------------------------- #
+def barrier_programs(n_lanes: int, n_iters: int = 4):
+    """Iteration-warp idiom: uneven per-iteration work, then a barrier.
+
+    Work skew makes different lanes arrive last in different iterations;
+    a lane doing zero work goes barrier-to-barrier in a single resumption,
+    and every lane passes its final barrier right before retiring — the
+    two historical fast-path wake-ordering bugs.
+    """
+    arrived = [0] * n_iters
+
+    def prog(lane):
+        acc = 0
+        for it in range(n_iters):
+            for _ in range((lane + it) % 3):
+                yield Alu(1)
+                acc += yield Load((lane * n_iters + it) % DATA_WORDS)
+            arrived[it] += 1
+            while arrived[it] < n_lanes:
+                yield WaitGE(arrived, it, n_lanes)
+        yield Mark(lane)
+        return acc
+
+    return [prog(i) for i in range(n_lanes)]
+
+
+def test_barrier_programs_equivalent():
+    assert_equivalent(barrier_programs, ExecutionConfig())
+
+
+def test_barrier_parking_disabled_still_equivalent():
+    assert_equivalent(
+        barrier_programs, ExecutionConfig(park_barrier_waits=False)
+    )
+
+
+# --------------------------------------------------------------------- #
+# probe fallback + escape hatch
+# --------------------------------------------------------------------- #
+class CountingProbe:
+    """Minimal probe: counts ops; its presence must force the reference path."""
+
+    def __init__(self) -> None:
+        self.ops = 0
+
+    def begin_launch(self) -> None:
+        pass
+
+    def end_launch(self, counters) -> None:
+        pass
+
+    def begin_slot(self, warp_id) -> None:
+        pass
+
+    def observe(self, warp_id, lane, op, value, gen) -> None:
+        self.ops += 1
+
+
+def test_probe_forces_reference_path():
+    def make(n_lanes):
+        rng = np.random.default_rng((999, 0))
+        return [random_program(rng, i, n_lanes) for i in range(n_lanes)]
+
+    ref = run_warp(make, SEQUENTIAL)
+    probe = CountingProbe()
+    # fast flags on, but the attached probe must win
+    opt = run_warp(make, ExecutionConfig(), probe=probe)
+    assert probe.ops > 0, "probe saw no ops: fast path ran despite the probe"
+    assert deep_eq(ref[0], opt[0])
+    assert ref[1] == opt[1]
+
+
+def test_repro_slow_path_env_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_SLOW_PATH", "1")
+    set_execution_config(None)  # re-read the environment
+    assert not execution_config().vectorize_slots
+    # programmatic overrides cannot re-enable the fast path
+    set_execution_config(ExecutionConfig(vectorize_slots=True))
+    assert not execution_config().vectorize_slots
+    monkeypatch.delenv("REPRO_SLOW_PATH")
+    set_execution_config(None)
+    assert execution_config().vectorize_slots
+
+
+# --------------------------------------------------------------------- #
+# whole-system equivalence (host mutation mid-kernel included)
+# --------------------------------------------------------------------- #
+def _run_system_batches(system: str, execution: ExecutionConfig):
+    from repro import YcsbWorkload, build_key_pool, make_system
+    from repro.workloads import YCSB_A
+
+    previous = set_execution_config(execution)
+    try:
+        rng = np.random.default_rng(42)
+        keys, values = build_key_pool(2**10, rng)
+        sys_ = make_system(system, keys, values, seed=5)
+        wl = YcsbWorkload(pool=keys, mix=YCSB_A)
+        outs = [
+            sys_.process_batch(wl.generate(2**9, rng), engine="simt")
+            for _ in range(2)
+        ]
+        items = sys_.tree.items()
+    finally:
+        set_execution_config(previous)
+    return outs, items
+
+
+@pytest.mark.parametrize("system", ["nocc", "stm", "lock", "eirene"])
+def test_system_batches_equivalent(system):
+    ref_outs, ref_items = _run_system_batches(system, SEQUENTIAL)
+    fast_outs, fast_items = _run_system_batches(system, ExecutionConfig())
+    assert deep_eq(ref_outs, fast_outs)
+    assert np.array_equal(ref_items[0], fast_items[0])
+    assert np.array_equal(ref_items[1], fast_items[1])
+
+
+def test_eirene_equivalent_with_forced_gather():
+    """Inserts split nodes mid-kernel (host mutation): the arena's
+    host_write_sync barrier must flush deferred loads first."""
+    ref_outs, ref_items = _run_system_batches("eirene", SEQUENTIAL)
+    fast_outs, fast_items = _run_system_batches(
+        "eirene", ExecutionConfig(gather_threshold=1)
+    )
+    assert deep_eq(ref_outs, fast_outs)
+    assert np.array_equal(ref_items[0], fast_items[0])
+
+
+# --------------------------------------------------------------------- #
+# parallel sharded execution
+# --------------------------------------------------------------------- #
+def test_parallel_sharded_identity_across_worker_counts():
+    from repro import YcsbWorkload, build_key_pool
+    from repro.workloads import YCSB_A
+
+    rng = np.random.default_rng(9)
+    keys, values = build_key_pool(2**10, rng)
+    wl = YcsbWorkload(pool=keys, mix=YCSB_A)
+    batches = [wl.generate(256, rng) for _ in range(2)]
+
+    ref_sys = ShardedSystem.build("eirene", keys, values, 4, seed=11)
+    ref = [ref_sys.process_batch(b, engine="simt") for b in batches]
+    ref_items = ref_sys.items()
+
+    for n_workers in (0, 1, 2, 4):  # 0 = in-process serial fallback
+        with ParallelShardedSystem(
+            "eirene", keys, values, 4, n_workers=n_workers, seed=11
+        ) as fleet:
+            outs = [fleet.process_batch(b, engine="simt") for b in batches]
+            fleet.validate()
+            items = fleet.items()
+            assert fleet.name == ref_sys.name
+        assert deep_eq(ref, outs), f"outcome diverged at n_workers={n_workers}"
+        assert np.array_equal(items[0], ref_items[0])
+        assert np.array_equal(items[1], ref_items[1])
+
+
+def test_parallel_sharded_worker_error_propagates():
+    from repro import build_key_pool
+
+    rng = np.random.default_rng(9)
+    keys, values = build_key_pool(2**9, rng)
+    with pytest.raises(Exception, match="unknown system"):
+        ParallelShardedSystem("no-such-system", keys, values, 2, n_workers=2)
+
+
+# --------------------------------------------------------------------- #
+# arena satellites: bulk counted plane + lazy label flush
+# --------------------------------------------------------------------- #
+def test_arena_gather_scatter_counted_matches_scalar_loop():
+    a = MemoryArena(64)
+    b = MemoryArena(64)
+    a.data[:16] = np.arange(16)
+    b.data[:16] = np.arange(16)
+    addrs = [3, 7, 7, 11]
+
+    got = a.gather(addrs, label="probe", counted=True)
+    for addr in addrs:
+        b.read(addr, label="probe")
+    assert list(got) == [3, 7, 7, 11]
+
+    a.scatter(addrs, [30, 70, 71, 110], label="probe", counted=True)
+    for addr, v in zip(addrs, [30, 70, 71, 110]):
+        b.write(addr, v, label="probe")
+
+    sa, sb = a.stats, b.stats
+    for f in ("reads", "writes", "read_words", "write_words", "transactions"):
+        assert getattr(sa, f) == getattr(sb, f), f
+    assert sa.by_label == sb.by_label == {"probe": 8}
+    # duplicate address: last write wins, like the scalar loop
+    assert np.array_equal(a.data[:16], b.data[:16])
+
+
+def test_arena_gather_uncounted_charges_nothing():
+    a = MemoryArena(64)
+    a.gather([1, 2, 3])
+    a.scatter([1, 2], [5, 6])
+    s = a.stats
+    assert (s.reads, s.writes, s.transactions) == (0, 0, 0)
+
+
+def test_lazy_label_accounting_flushes_on_observation():
+    a = MemoryArena(64)
+    for _ in range(5):
+        a.read(1, label="hot")
+    a.write(2, 9, label="cold")
+    assert a._pending_labels == {"hot": 5, "cold": 1}
+    stats = a.stats  # observation folds the pending dict in
+    assert a._pending_labels == {}
+    assert stats.by_label == {"hot": 5, "cold": 1}
+    # repeated observation does not double-count
+    assert a.stats.by_label == {"hot": 5, "cold": 1}
